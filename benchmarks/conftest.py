@@ -1,0 +1,33 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper artifact (table or figure), prints
+the paper-style rows, and asserts the *shape* claims — who wins, by
+roughly what factor, where crossovers fall (DESIGN.md §4).
+
+Environment knobs:
+
+``REPRO_NODES``  simulated node count for the figure sweeps (default 8;
+                 the paper used 32 — set ``REPRO_NODES=32`` for the full
+                 configuration, at ~15x the runtime).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def nodes_under_test() -> int:
+    return int(os.environ.get("REPRO_NODES", "8"))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a simulation exactly once under pytest-benchmark timing."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

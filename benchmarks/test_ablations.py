@@ -1,0 +1,84 @@
+"""Ablation benches for the design choices DESIGN.md §6 calls out.
+
+These go beyond the paper's figures: they probe whether its conclusions
+survive changes the paper argues about qualitatively.
+
+* **NP speed** (Section 5.1 argues a previous-generation integer core
+  suffices): slow the NP 1x -> 4x and watch Typhoon/Stache degrade.
+* **Network topology** (Section 6 calls the 11-cycle latency optimistic
+  and biased *against* Typhoon): swap the ideal network for a 2-D mesh
+  and check the Figure 4 ordering still holds.
+* **First-touch placement** (Section 6 cites Stenstrom et al.): most of
+  DirNNB's remote traffic on naive layouts disappears.
+"""
+
+from benchmarks.conftest import nodes_under_test
+from repro.harness import experiments
+
+
+def test_ablation_np_speed(once):
+    result = once(experiments.run_ablation_np_speed, nodes=4)
+    print()
+    print(result.to_text())
+    relatives = result.column("relative")
+    # Slower NPs monotonically hurt Typhoon/Stache...
+    assert relatives == sorted(relatives)
+    # ...but even a 2x-slower NP does not double execution time: handler
+    # occupancy is a fraction of end-to-end miss latency.
+    by_cpi = {row["np_cpi"]: row["stache_cycles"] for row in result.rows}
+    assert by_cpi[2] < 2 * by_cpi[1]
+
+
+def test_ablation_topology(once):
+    result = once(experiments.run_ablation_topology, nodes=nodes_under_test())
+    print()
+    print(result.to_text())
+    mesh = result.rows_where(topology="mesh2d")[0]
+    ideal = result.rows_where(topology="ideal")[0]
+    # The mesh is slower for everyone...
+    assert mesh["dirnnb"] >= ideal["dirnnb"]
+    # ...and the update protocol still wins under it: the Figure 4
+    # conclusion is not an artifact of the optimistic flat network.
+    assert mesh["typhoon_update"] < mesh["dirnnb"]
+    assert mesh["typhoon_update"] < mesh["typhoon_stache"]
+
+
+def test_ablation_contention(once):
+    result = once(experiments.run_ablation_contention,
+                  nodes=nodes_under_test())
+    print()
+    print(result.to_text())
+    on = result.rows_where(contention="on")[0]
+    off = result.rows_where(contention="off")[0]
+    # Contention can only add cycles...
+    for series in ("dirnnb", "typhoon_stache", "typhoon_update"):
+        assert on[series] >= off[series]
+    # ...and the Figure 4 ordering survives it.
+    assert on["typhoon_update"] < on["dirnnb"]
+    assert on["typhoon_update"] < on["typhoon_stache"]
+
+
+def test_ablation_barrier(once):
+    result = once(experiments.run_ablation_barrier, nodes=nodes_under_test())
+    print()
+    print(result.to_text())
+    hardware = result.rows_where(barrier="hardware")[0]
+    software = result.rows_where(barrier="software")[0]
+    # Messages cost more than the control network...
+    assert software["cycles"] > hardware["cycles"]
+    assert software["barrier_cycles"] > hardware["barrier_cycles"]
+    # ...but not catastrophically: barriers are a minority of Ocean time.
+    assert software["cycles"] < 1.5 * hardware["cycles"]
+
+
+def test_ablation_first_touch(once):
+    result = once(experiments.run_ablation_first_touch,
+                  nodes=nodes_under_test())
+    print()
+    print(result.to_text())
+    round_robin = result.rows_where(placement="round_robin")[0]
+    first_touch = result.rows_where(placement="first_touch")[0]
+    # First touch eliminates most remote traffic on the naive layout
+    # (Section 6: "eliminates much of the difference").
+    assert first_touch["remote_packets"] < 0.5 * round_robin["remote_packets"]
+    assert first_touch["dirnnb_cycles"] < round_robin["dirnnb_cycles"]

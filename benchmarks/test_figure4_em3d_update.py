@@ -1,0 +1,55 @@
+"""Figure 4: EM3D update-protocol performance.
+
+Regenerates the cycles-per-edge series for DirNNB, Typhoon/Stache, and
+Typhoon/Update as the fraction of non-local edges sweeps 0-50 %, and
+asserts the paper's shape:
+
+* every system slows as more edges go remote;
+* the custom delayed-update protocol is the lowest curve with the
+  flattest slope;
+* at 50 % remote edges the update protocol beats DirNNB by a
+  double-digit percentage (the paper reports 35 %).
+"""
+
+from benchmarks.conftest import nodes_under_test
+from repro.harness import experiments
+
+
+def run_figure4():
+    result = experiments.run_figure4(nodes=nodes_under_test())
+    print()
+    print(result.to_text())
+    return result
+
+
+def test_figure4_series(once):
+    result = once(run_figure4)
+
+    for series in ("dirnnb", "typhoon_stache", "typhoon_update"):
+        values = result.column(series)
+        # Monotone-ish growth with the remote fraction: the last point is
+        # the most expensive and the first the cheapest.
+        assert values[-1] > values[0]
+
+    by_pct = {row["remote_pct"]: row for row in result.rows}
+
+    # At 0% remote all three systems are close (no communication).
+    base = by_pct[0]
+    assert abs(base["typhoon_stache"] - base["dirnnb"]) / base["dirnnb"] < 0.25
+    assert base["typhoon_update"] <= base["typhoon_stache"] * 1.05
+
+    # The update protocol is the lowest curve at every sampled point >0.
+    for pct, row in by_pct.items():
+        if pct == 0:
+            continue
+        assert row["typhoon_update"] < row["dirnnb"]
+        assert row["typhoon_update"] < row["typhoon_stache"]
+
+    # Flattest slope: update's rise from 0% to 50% is smaller than both.
+    for series in ("dirnnb", "typhoon_stache"):
+        rise = by_pct[50][series] - by_pct[0][series]
+        update_rise = by_pct[50]["typhoon_update"] - by_pct[0]["typhoon_update"]
+        assert update_rise < rise
+
+    # The headline: a substantial win over DirNNB at 50% remote edges.
+    assert by_pct[50]["update_vs_dirnnb"] < 0.85

@@ -1,0 +1,37 @@
+"""Coherence granularity: the case for fine-grain access control.
+
+Section 2.4 argues page-based access control "is a poor match for many
+applications" — it is the paper's justification for Typhoon's one piece
+of custom hardware.  This bench quantifies it: the same applications on
+the same machine under Stache (32-byte units) and under an IVY-style DSM
+built only from Tempest's coarse-grain mechanisms (4 KB pages moved by
+bulk transfer).
+
+Expected shape: Ocean's strip-partitioned grids are page-friendly (small
+gap); EM3D's interleaved graph false-shares pages (about 2x); MP3D's
+scattered space cells thrash whole pages between writers (order of
+magnitude).
+"""
+
+from repro.harness import experiments
+
+
+def test_granularity(once):
+    # 4 nodes: the IVY/MP3D configuration is pathological by design and
+    # its cost grows quickly with node count.
+    result = once(experiments.run_granularity, nodes=4)
+    print()
+    print(result.to_text())
+    by_app = {row["application"]: row for row in result.rows}
+
+    # Page granularity never wins here, and ordering follows layout
+    # friendliness: ocean < em3d < mp3d.
+    assert 1.0 < by_app["ocean"]["ivy_slowdown"] < 2.0
+    assert by_app["ocean"]["ivy_slowdown"] < by_app["em3d"]["ivy_slowdown"]
+    assert by_app["em3d"]["ivy_slowdown"] < by_app["mp3d"]["ivy_slowdown"]
+    # The migratory false-sharing case is catastrophic — the reason
+    # fine-grain tags earn their hardware.
+    assert by_app["mp3d"]["ivy_slowdown"] > 5.0
+    # Packet counts tell the same story.
+    for row in result.rows:
+        assert row["ivy_packets"] > row["stache_packets"]

@@ -1,0 +1,41 @@
+"""Section 4's message-economy argument, measured.
+
+The paper's case for custom protocols rests on message counting: under
+transparent shared memory every remote graph node costs at least four
+messages per iteration (request, response, invalidate, acknowledge);
+prefetching hides latency but "does not reduce the message traffic";
+check-in trims the invalidation round trip "but cannot attain the minimum
+of one message"; the delayed-update protocol approaches that minimum.
+
+This bench measures remote packets per remote datum per EM3D iteration
+for Stache, Stache+prefetch, and the update protocol, and asserts the
+ordering the whole Section 4 argument depends on.
+"""
+
+from benchmarks.conftest import nodes_under_test
+from repro.harness import experiments
+
+
+def test_message_economy(once):
+    result = once(experiments.run_message_economy, nodes=nodes_under_test())
+    print()
+    print(result.to_text())
+    by_system = {row["system"]: row for row in result.rows}
+    stache = by_system["typhoon-stache"]
+    prefetch = by_system["typhoon-stache+prefetch"]
+    update = by_system["typhoon-update"]
+
+    # Invalidation protocol: several messages per datum per iteration
+    # (request/response every iteration + invalidation traffic).
+    assert stache["per_datum_per_iter"] > 3.0
+
+    # Prefetch: meaningfully faster, traffic essentially unchanged.
+    assert prefetch["cycles"] < stache["cycles"]
+    assert abs(prefetch["remote_packets"] - stache["remote_packets"]) \
+        <= 0.1 * stache["remote_packets"]
+
+    # The update protocol approaches the minimum of one message per datum
+    # per iteration and beats both on time.
+    assert update["per_datum_per_iter"] < 2.0
+    assert update["per_datum_per_iter"] < stache["per_datum_per_iter"] / 2
+    assert update["cycles"] < prefetch["cycles"]

@@ -1,0 +1,36 @@
+"""Table 1: the nine operations on tagged memory blocks.
+
+Prints the operation table with live observed behaviour, and benchmarks
+the raw cost of the tag-manipulation fast path (the operations protocols
+issue on every coherence event).
+"""
+
+from repro.harness import experiments
+from repro.memory.address import SHARED_BASE, AddressLayout
+from repro.memory.tags import Tag, TagStore
+
+
+def test_table1_operations(once):
+    result = once(experiments.run_table1)
+    print()
+    print(result.to_text())
+    assert len(result.rows) == 9
+
+
+def test_table1_tag_manipulation_throughput(benchmark):
+    """Host-side speed of the tag store (simulator efficiency, not cycles)."""
+    store = TagStore(AddressLayout())
+    store.register_page(SHARED_BASE, Tag.INVALID)
+    addrs = [SHARED_BASE + i * 32 for i in range(128)]
+
+    def manipulate():
+        for addr in addrs:
+            store.set_rw(addr)
+            store.check(addr, is_write=True)
+            store.set_ro(addr)
+            store.check(addr, is_write=True)
+            store.invalidate(addr)
+        return store.read_tag(addrs[0])
+
+    tag = benchmark(manipulate)
+    assert tag is Tag.INVALID

@@ -1,0 +1,30 @@
+"""Table 2: simulation parameters.
+
+Prints the configured parameters next to the paper's values and asserts
+they all match, then benchmarks machine construction at the paper's
+32-node configuration (simulator efficiency).
+"""
+
+from repro.harness import experiments
+from repro.protocols.stache import StacheProtocol
+from repro.sim.config import MachineConfig
+from repro.typhoon.system import TyphoonMachine
+
+
+def test_table2_parameters(once):
+    result = once(experiments.run_table2)
+    print()
+    print(result.to_text())
+    assert all(row["match"] == "yes" for row in result.rows)
+
+
+def test_table2_machine_construction(benchmark):
+    """Build the paper's full 32-node Typhoon machine with Stache."""
+
+    def build():
+        machine = TyphoonMachine(MachineConfig(nodes=32, seed=1))
+        machine.install_protocol(StacheProtocol())
+        return machine
+
+    machine = benchmark(build)
+    assert machine.num_nodes == 32

@@ -1,0 +1,32 @@
+"""Table 3: application data sets.
+
+Prints the paper-vs-scaled data-set registry and benchmarks workload
+construction (graph/grid building is the setup cost of every experiment).
+"""
+
+from repro.harness import experiments
+from repro.harness.workloads import APP_NAMES, workload
+from repro.protocols.dirnnb import DirNNBMachine
+from repro.sim.config import MachineConfig
+
+
+def test_table3_datasets(once):
+    result = once(experiments.run_table3)
+    print()
+    print(result.to_text())
+    assert len(result.rows) == 10
+
+
+def test_table3_workload_setup_cost(benchmark):
+    """Time the setup (allocation + data initialization) of every small set."""
+
+    def set_up_all():
+        machines = []
+        for app_name in APP_NAMES:
+            machine = DirNNBMachine(MachineConfig(nodes=8, seed=1))
+            workload(app_name, "small").build().setup(machine, None)
+            machines.append(machine)
+        return machines
+
+    machines = benchmark.pedantic(set_up_all, rounds=1, iterations=1)
+    assert len(machines) == len(APP_NAMES)

@@ -1,0 +1,33 @@
+"""Execution-time decomposition: the mechanics behind Figure 3.
+
+Memory stall dominates these workloads on both systems (they are
+coherence-bound by design); the breakdown makes the figures legible —
+Stache's outcomes track how its memory-stall component compares with
+DirNNB's, while the compute component is system-independent.
+"""
+
+from benchmarks.conftest import nodes_under_test
+from repro.harness import experiments
+
+
+def test_time_breakdown(once):
+    result = once(experiments.run_time_breakdown, nodes=nodes_under_test())
+    print()
+    print(result.to_text())
+    for row in result.rows:
+        # Percentages are a sane partition of total time.
+        total = row["compute_pct"] + row["memory_pct"] + row["barrier_pct"]
+        assert 99.5 <= total <= 100.5
+        # These benchmarks are memory-bound on every system.
+        assert row["memory_pct"] > row["compute_pct"]
+
+    # The compute component is a property of the application, not the
+    # memory system: it must agree (in absolute cycles) across systems.
+    by_key = {(r["application"], r["system"]): r for r in result.rows}
+    for app in ("ocean", "em3d", "mp3d"):
+        dirnnb = by_key[(app, "dirnnb")]
+        stache = by_key[(app, "typhoon-stache")]
+        dirnnb_compute = dirnnb["compute_pct"] * dirnnb["cycles"]
+        stache_compute = stache["compute_pct"] * stache["cycles"]
+        ratio = stache_compute / dirnnb_compute
+        assert 0.8 < ratio < 1.2

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""User-level synchronization built from Tempest messages.
+
+The paper's footnote 1 mentions adding synchronization primitives to
+Tempest.  This example shows that a user can already build them today
+from the four base mechanisms: a queueing lock and a fetch-and-add
+counter, each homed on a node and manipulated by active messages whose
+handlers run atomically on the home NP.
+
+Eight nodes contend for a lock-protected shared counter and also take
+tickets from a fetch-and-add cell; the output shows mutual exclusion held
+and every increment survived.
+
+Run:  python examples/custom_sync.py
+"""
+
+from repro.sim.config import MachineConfig
+from repro.tempest.sync import FetchAndOp, TempestLock
+from repro.typhoon.system import TyphoonMachine
+
+
+def main() -> None:
+    nodes = 8
+    increments = 5
+    machine = TyphoonMachine(MachineConfig(nodes=nodes, seed=7))
+    lock = TempestLock(machine.tempests, home=0, name="counter_lock")
+    tickets = FetchAndOp(machine.tempests, home=1, name="tickets")
+
+    shared_counter = [0]
+    in_section = [0]
+    max_in_section = [0]
+    my_tickets: dict[int, list[int]] = {n: [] for n in range(nodes)}
+
+    def worker(node_id):
+        for _round in range(increments):
+            # Lock-protected critical section.
+            yield from lock.acquire(node_id)
+            in_section[0] += 1
+            max_in_section[0] = max(max_in_section[0], in_section[0])
+            value = shared_counter[0]
+            yield 25  # simulated critical-section work
+            shared_counter[0] = value + 1
+            in_section[0] -= 1
+            yield from lock.release(node_id)
+            # Wait-free ticket from the fetch-and-add cell.
+            ticket = yield from tickets.apply(node_id, 1)
+            my_tickets[node_id].append(ticket)
+
+    machine.run_workers(worker)
+
+    total = nodes * increments
+    all_tickets = sorted(t for ts in my_tickets.values() for t in ts)
+    print(f"{nodes} nodes x {increments} rounds on a {increments}-deep "
+          "lock + fetch-and-add")
+    print(f"  shared counter            : {shared_counter[0]} "
+          f"(expected {total})")
+    print(f"  max threads in section    : {max_in_section[0]} (must be 1)")
+    print(f"  tickets issued            : {all_tickets == list(range(total))}"
+          " (unique, gapless)")
+    print(f"  simulated cycles          : {machine.engine.now:.0f}")
+    assert shared_counter[0] == total
+    assert max_in_section[0] == 1
+    assert all_tickets == list(range(total))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 3: Typhoon/Stache execution time relative to DirNNB.
+
+Runs the five benchmarks of Table 3 at every dataset/cache configuration
+of Figure 3 (scaled cache ladder; DESIGN.md explains the scaling) on both
+target systems, and prints the bar heights.  Bars below 1.0 mean the
+user-level protocol beats the all-hardware one.
+
+Run:  python examples/figure3_sweep.py [--nodes N] [--apps ocean,em3d]
+"""
+
+import argparse
+
+from repro.harness import experiments
+from repro.harness.workloads import APP_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="simulated processors (paper: 32)")
+    parser.add_argument("--apps", type=str, default=",".join(APP_NAMES),
+                        help="comma-separated subset of "
+                             f"{', '.join(APP_NAMES)}")
+    args = parser.parse_args()
+
+    apps = tuple(name.strip() for name in args.apps.split(","))
+    result = experiments.run_figure3(apps=apps, nodes=args.nodes)
+    print(result.to_text())
+    print()
+
+    # A tiny text rendition of the bar chart.
+    print("bars (each # is 0.05x; | marks parity with DirNNB):")
+    for row in result.rows:
+        bar = "#" * int(round(row["relative"] / 0.05))
+        label = f"{row['application']:<7}{row['paper_cache']:<12}"
+        marker = bar[:20] + "|" + bar[20:]
+        print(f"  {label} {marker} {row['relative']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""The other end of Tempest's spectrum: pure message passing.
+
+Section 1: "programs with coarse-grain, static communication can send
+messages.  Tempest does not impose shared-memory overhead on these
+message-passing programs."  This example writes such a program directly
+against the Tempest interface — no Stache, no page faults, no tags:
+
+* a ring exchange implemented with **bulk data transfers** (each node
+  ships a buffer to its right neighbour, overlapping the transfer with
+  local compute), and
+* a global sum implemented with **active messages** (leaves send partial
+  sums to node 0, whose handler accumulates and broadcasts the result).
+
+Run:  python examples/message_passing.py
+"""
+
+from repro.memory.tags import Tag
+from repro.network.message import VirtualNetwork
+from repro.sim.config import MachineConfig
+from repro.sim.process import Future
+from repro.typhoon.system import TyphoonMachine
+
+BUFFER_BYTES = 512
+WORDS = BUFFER_BYTES // 4
+
+
+def main() -> None:
+    nodes = 8
+    machine = TyphoonMachine(MachineConfig(nodes=nodes, seed=3))
+
+    # Plain flat buffers, one page per node per direction; tags are all
+    # ReadWrite and never change: no shared-memory machinery runs.
+    send_buffers = machine.heap.allocate_striped(4096, label="send")
+    recv_buffers = machine.heap.allocate_striped(4096, label="recv")
+    for node in range(nodes):
+        machine.nodes[node].tempest.map_page(
+            send_buffers[node].base, mode=0, home=node,
+            initial_tag=Tag.READ_WRITE)
+        machine.nodes[node].tempest.map_page(
+            recv_buffers[node].base, mode=0, home=node,
+            initial_tag=Tag.READ_WRITE)
+
+    # --- a tiny user-level reduction library over active messages ------
+    partial_sums = {"total": 0.0, "arrived": 0}
+    done_futures = [Future(machine.engine) for _ in range(nodes)]
+
+    def on_partial(tempest, message):
+        partial_sums["total"] += message.payload["value"]
+        partial_sums["arrived"] += 1
+        if partial_sums["arrived"] == nodes:
+            for node in range(nodes):
+                tempest.send(node, "sum.result",
+                             vnet=VirtualNetwork.RESPONSE,
+                             value=partial_sums["total"])
+
+    def on_result(tempest, message):
+        done_futures[tempest.node_id].resolve(message.payload["value"])
+
+    machine.tempests[0].register_handler("sum.partial", on_partial,
+                                         instructions=12)
+    for tempest in machine.tempests:
+        tempest.register_handler("sum.result", on_result, instructions=8)
+
+    results = {}
+
+    def worker(node_id):
+        tempest = machine.tempests[node_id]
+        # Fill the outgoing buffer (local stores, full hardware speed).
+        local_sum = 0.0
+        for word in range(WORDS):
+            value = node_id * 1000.0 + word
+            yield from machine.nodes[node_id].access(
+                send_buffers[node_id].base + word * 4, True, value)
+            local_sum += value
+
+        # Ship it to the right neighbour's receive buffer and overlap the
+        # DMA-like transfer with "compute".
+        right = (node_id + 1) % nodes
+        transfer = tempest.bulk_transfer(
+            right, send_buffers[node_id].base, recv_buffers[right].base,
+            BUFFER_BYTES)
+        yield 500  # overlapped computation
+        yield transfer  # completion detection (Section 2.2)
+
+        # Contribute to the global sum via one active message.
+        tempest.send(0, "sum.partial", value=local_sum)
+        total = yield done_futures[node_id]
+        results[node_id] = total
+
+    machine.run_workers(worker)
+
+    expected = sum(n * 1000.0 + w for n in range(nodes) for w in range(WORDS))
+    left = (0 - 1) % nodes
+    delivered = machine.nodes[0].image.read(recv_buffers[0].base + 4)
+    print(f"{nodes}-node ring exchange + active-message reduction")
+    print(f"  bulk bytes shipped        : {nodes * BUFFER_BYTES}")
+    print(f"  word 1 delivered to node 0: {delivered} "
+          f"(sent by node {left})")
+    print(f"  global sum at every node  : {set(results.values())} "
+          f"(expected {expected})")
+    print(f"  shared-memory faults      : "
+          f"{machine.stats.total('.cpu.block_faults'):.0f} (must be 0)")
+    print(f"  simulated cycles          : {machine.engine.now:.0f}")
+    assert set(results.values()) == {expected}
+    assert machine.stats.total(".cpu.block_faults") == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Replay an address trace through any simulated memory system.
+
+Architecture studies often start from a reference trace, not a program.
+This example writes a small text trace (the producer/consumer + false-
+sharing patterns), replays it on DirNNB, Typhoon/Stache, and the IVY
+page-DSM, and prints each system's cycles and traffic — three memory
+systems judged on identical input.
+
+Trace format (``repro.apps.trace``)::
+
+    <node> r <addr>          # read
+    <node> w <addr> <value>  # write
+    <node> c <cycles>        # compute
+    <node> b                 # barrier
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.apps.base import run_app
+from repro.apps.trace import TraceApplication, parse_trace
+from repro.harness.runner import build_machine
+from repro.sim.config import MachineConfig
+
+TRACE = """
+# Producer/consumer on block 0x00 and a false-sharing pair:
+# node 0 owns offset 0x000, node 1 hammers offset 0x800 (same page!).
+0 w 0x000 1
+0 b
+1 b
+1 r 0x000
+1 c 100
+0 c 100
+
+0 w 0x800 0     # unrelated in block terms, same page as 0x000...
+0 b
+1 b
+
+1 w 0x840 1     # ...so page-grain systems will thrash here
+0 w 0x000 2
+1 b
+0 b
+1 w 0x840 2
+0 w 0x000 3
+1 b
+0 b
+1 w 0x840 3
+0 w 0x000 4
+1 b
+0 b
+"""
+
+
+def main() -> None:
+    programs = parse_trace(TRACE.splitlines())
+    print(f"trace: {sum(len(ops) for ops in programs.values())} operations "
+          f"over {len(programs)} nodes\n")
+    print(f"{'system':<18}{'cycles':>10}{'remote packets':>16}")
+    for system in ("dirnnb", "typhoon-stache", "ivy"):
+        if system == "ivy":
+            from repro.protocols.ivy import IvyProtocol
+            from repro.typhoon.system import TyphoonMachine
+
+            machine = TyphoonMachine(MachineConfig(nodes=2, seed=8))
+            protocol = IvyProtocol()
+            machine.install_protocol(protocol)
+        else:
+            machine, protocol = build_machine(
+                system, MachineConfig(nodes=2, seed=8))
+        app = TraceApplication(dict(programs), region_bytes=4096,
+                               relative=True)
+        cycles = run_app(machine, app, protocol)
+        packets = (machine.stats.get("network.packets")
+                   - machine.stats.get("network.local_packets"))
+        print(f"{system:<18}{cycles:>10.0f}{packets:>16.0f}")
+    print("\nsame references, three verdicts: the page-grain system pays "
+          "for the false sharing the trace bakes in.")
+
+
+if __name__ == "__main__":
+    main()

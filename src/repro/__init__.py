@@ -1,0 +1,44 @@
+"""Reproduction of *Tempest and Typhoon: User-Level Shared Memory*.
+
+Reinhardt, Larus & Wood, Proc. 21st International Symposium on Computer
+Architecture (ISCA), 1994.
+
+The package is organized bottom-up:
+
+``repro.sim``
+    Discrete-event simulation kernel: engine, processes, statistics,
+    configuration (Table 2 parameters), deterministic RNG streams.
+``repro.network``
+    Point-to-point interconnect with two virtual networks.
+``repro.memory``
+    Node memory substrate: caches, TLBs, fine-grain access tags
+    (Table 1 operations), page tables, address-space allocators.
+``repro.tempest``
+    The Tempest interface (paper Section 2): active messages, bulk data
+    transfer, user-level virtual-memory management, fine-grain access
+    control, and computation-thread suspend/resume.
+``repro.typhoon``
+    The Typhoon hardware model (paper Section 5): network interface
+    processor (NP), reverse TLB, block-access-fault buffer, MBus model,
+    node and system assembly.
+``repro.protocols``
+    Coherence protocols: the all-hardware DirNNB baseline, the user-level
+    Stache protocol (Section 3), and the custom EM3D delayed-update
+    protocol (Section 4).
+``repro.apps``
+    The five evaluation applications (Table 3) as SPMD reference-stream
+    kernels, plus synthetic sharing-pattern microbenchmarks.
+``repro.harness``
+    Experiment registry and reporting for every table and figure in the
+    paper's evaluation (Section 6).
+
+Quickstart::
+
+    from repro.harness import experiments
+    result = experiments.run_figure4(points=3, scale=0.05)
+    print(result.to_text())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

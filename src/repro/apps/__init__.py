@@ -1,0 +1,46 @@
+"""The evaluation applications (paper Section 6 / Table 3).
+
+Five SPMD kernels re-implementing the paper's benchmarks' data layouts,
+owners-compute partitioning, per-iteration sharing patterns and barrier
+structure:
+
+* :mod:`repro.apps.appbt`  — NAS Appbt: block-tridiagonal line sweeps on a
+  3-D grid;
+* :mod:`repro.apps.barnes` — Barnes-Hut N-body: shared tree walks;
+* :mod:`repro.apps.mp3d`   — rarefied-flow particles through shared space
+  cells (migratory write sharing);
+* :mod:`repro.apps.ocean`  — stencil relaxation on 2-D grids;
+* :mod:`repro.apps.em3d`   — the bipartite-graph kernel of Section 4.
+
+Plus :mod:`repro.apps.synthetic` microbenchmark patterns for ablations.
+Every application runs unmodified on both target machines (DirNNB and
+Typhoon/Stache); EM3D additionally knows how to exploit the custom
+delayed-update protocol when it is installed.
+"""
+
+from repro.apps.base import AppContext, Application, SharedArray, run_app
+from repro.apps.appbt import AppbtApplication
+from repro.apps.barnes import BarnesApplication
+from repro.apps.em3d import Em3dApplication
+from repro.apps.mp3d import Mp3dApplication
+from repro.apps.ocean import OceanApplication
+from repro.apps.synthetic import (
+    MigratoryApplication,
+    ProducerConsumerApplication,
+    ReadMostlyApplication,
+)
+
+__all__ = [
+    "AppContext",
+    "Application",
+    "AppbtApplication",
+    "BarnesApplication",
+    "Em3dApplication",
+    "MigratoryApplication",
+    "Mp3dApplication",
+    "OceanApplication",
+    "ProducerConsumerApplication",
+    "ReadMostlyApplication",
+    "SharedArray",
+    "run_app",
+]

@@ -1,0 +1,133 @@
+"""Appbt: the NAS block-tridiagonal CFD benchmark.
+
+Appbt solves systems of block-tridiagonal equations with 5x5 blocks by
+sweeping lines of a 3-D grid in each dimension.  The memory behaviour
+that matters: per-cell state is substantial (the paper's 5x5 blocks), the
+x- and y-direction sweeps stay inside a processor's partition, and the
+z-direction sweep carries a dependence across partitions, so each node
+reads its neighbour's boundary plane — plane-sized surface sharing plus a
+large private-ish working set.
+
+This kernel partitions an ``n x n x n`` grid along z into slabs.  Each
+iteration runs three Gauss-Seidel-style line sweeps (x, y, z); the z
+sweep reads the boundary plane owned by the previous node.  Each cell is
+one 32-byte block holding ``words_per_cell`` solution words (standing in
+for the paper's 5x5 block of unknowns), all of which are read and
+written by every sweep step — the dense per-cell state that gives Appbt
+its large working set and high block reuse.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application, AppContext
+from repro.sim.rng import RngStreams
+
+CELL_BYTES = 32
+WORD_BYTES = 8
+
+
+class AppbtApplication(Application):
+    """3-D grid with per-dimension sweeps; z sweeps cross partitions."""
+
+    name = "appbt"
+
+    def __init__(self, grid: int = 8, iterations: int = 1, seed: int = 23,
+                 words_per_cell: int = 4):
+        if grid < 2:
+            raise ValueError("grid must be at least 2")
+        if not 1 <= words_per_cell <= CELL_BYTES // WORD_BYTES:
+            raise ValueError("words_per_cell must fit in one block")
+        self.grid = grid
+        self.iterations = iterations
+        self.seed = seed
+        self.words_per_cell = words_per_cell
+        self.slabs: list = []
+
+    # ------------------------------------------------------------------
+    def setup(self, machine, protocol=None) -> None:
+        self._procs = machine.num_nodes
+        self._planes_per_node = -(-self.grid // self._procs)
+        plane_bytes = self.grid * self.grid * CELL_BYTES
+        self.slabs = []
+        for node in range(self._procs):
+            planes = len(self._planes_owned(node))
+            self.slabs.append(self.alloc_shared(
+                machine, protocol, max(planes * plane_bytes, 1),
+                f"appbt.slab[{node}]", home=node,
+            ))
+        rng = RngStreams(self.seed).stream("appbt.init")
+        for z in range(self.grid):
+            for y in range(self.grid):
+                for x in range(self.grid):
+                    for word in range(self.words_per_cell):
+                        self.poke(machine, self.cell_addr(x, y, z, word),
+                                  round(rng.uniform(0, 1), 6))
+
+    def _planes_owned(self, node: int) -> range:
+        start = node * self._planes_per_node
+        return range(min(start, self.grid),
+                     min(start + self._planes_per_node, self.grid))
+
+    def cell_addr(self, x: int, y: int, z: int, word: int = 0) -> int:
+        node = min(z // self._planes_per_node, self._procs - 1)
+        local_z = z - node * self._planes_per_node
+        base = self.slabs[node].base
+        return (base
+                + ((local_z * self.grid + y) * self.grid + x) * CELL_BYTES
+                + word * WORD_BYTES)
+
+    def _read_cell(self, ctx: AppContext, x: int, y: int, z: int):
+        """Read every solution word of one cell (one 5x5-block stand-in)."""
+        words = []
+        for word in range(self.words_per_cell):
+            value = yield from ctx.read(self.cell_addr(x, y, z, word))
+            words.append(value)
+        return words
+
+    def _update_cell(self, ctx: AppContext, x: int, y: int, z: int,
+                     previous: list):
+        """Line-solve step: new = 0.5 * (current + previous), per word."""
+        updated = []
+        for word in range(self.words_per_cell):
+            current = yield from ctx.read(self.cell_addr(x, y, z, word))
+            new = round(0.5 * (current + previous[word]), 9)
+            yield from ctx.compute(flops=4, overhead=1)
+            yield from ctx.write(self.cell_addr(x, y, z, word), new)
+            updated.append(new)
+        return updated
+
+    # ------------------------------------------------------------------
+    def worker(self, ctx: AppContext):
+        planes = self._planes_owned(ctx.node_id)
+        n = self.grid
+        for _iteration in range(self.iterations):
+            # x sweep: lines along x within owned planes (all local).
+            for z in planes:
+                for y in range(n):
+                    previous = yield from self._read_cell(ctx, 0, y, z)
+                    for x in range(1, n):
+                        previous = yield from self._update_cell(
+                            ctx, x, y, z, previous)
+            yield from ctx.barrier()
+            # y sweep: lines along y (still local to the slab).
+            for z in planes:
+                for x in range(n):
+                    previous = yield from self._read_cell(ctx, x, 0, z)
+                    for y in range(1, n):
+                        previous = yield from self._update_cell(
+                            ctx, x, y, z, previous)
+            yield from ctx.barrier()
+            # z sweep: the line crosses slabs; each node reads the last
+            # plane of its predecessor's slab (remote boundary plane).
+            if planes:
+                first = planes[0]
+                for y in range(n):
+                    for x in range(n):
+                        boundary = max(first - 1, 0)
+                        previous = yield from self._read_cell(
+                            ctx, x, y, boundary)
+                        start = first if first > 0 else 1
+                        for z in range(start, planes[-1] + 1):
+                            previous = yield from self._update_cell(
+                                ctx, x, y, z, previous)
+            yield from ctx.barrier()

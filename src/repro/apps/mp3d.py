@@ -1,0 +1,106 @@
+"""MP3D: rarefied fluid-flow simulation (wind tunnel).
+
+The SPLASH MP3D code moves molecules through a 3-D space array each time
+step; every molecule updates the properties of the space cell it lands
+in.  Because molecules owned by different processors constantly land in
+the same cells, the space array exhibits *migratory* write sharing with
+heavy invalidation traffic — which is why MP3D is the classic
+coherence-stress benchmark.
+
+This kernel reproduces that pattern: molecules are striped across nodes
+(owner-computes); the space array is a shared 3-D grid of cells, pages
+round-robin across homes.  Each step, every molecule moves
+deterministically-pseudo-randomly, reads and writes its destination
+cell's population and momentum words, and updates its own record.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application, AppContext, SharedArray
+from repro.sim.rng import RngStreams
+
+#: Molecule record: position/velocity words in one 32-byte block.
+MOL_BYTES = 32
+MOL_POS = 0
+MOL_VEL = 8
+
+#: Space cell record: population + momentum in one 32-byte block.
+CELL_BYTES = 32
+CELL_COUNT = 0
+CELL_MOMENTUM = 8
+
+
+class Mp3dApplication(Application):
+    """Particles through shared space cells: migratory write sharing."""
+
+    name = "mp3d"
+
+    def __init__(self, molecules: int = 128, space_cells: int = 64,
+                 iterations: int = 2, seed: int = 17):
+        self.molecules = molecules
+        self.space_cells = space_cells
+        self.iterations = iterations
+        self.seed = seed
+        self.mols: SharedArray | None = None
+        self.space: SharedArray | None = None
+
+    # ------------------------------------------------------------------
+    def setup(self, machine, protocol=None) -> None:
+        self.mols = SharedArray(machine, protocol, self.molecules, MOL_BYTES,
+                                label="mp3d.mols")
+        self.space = SharedArray(machine, protocol, self.space_cells,
+                                 CELL_BYTES, label="mp3d.space",
+                                 striped=False)
+        rng = RngStreams(self.seed).stream("mp3d.init")
+        for index in range(self.molecules):
+            self.poke(machine, self.mols.addr(index, MOL_POS),
+                      rng.randrange(self.space_cells))
+            self.poke(machine, self.mols.addr(index, MOL_VEL),
+                      rng.randrange(1, 7))
+        for cell in range(self.space_cells):
+            self.poke(machine, self.space.addr(cell, CELL_COUNT), 0)
+            self.poke(machine, self.space.addr(cell, CELL_MOMENTUM), 0)
+
+    # ------------------------------------------------------------------
+    def worker(self, ctx: AppContext):
+        for _step in range(self.iterations):
+            for index in self.mols.owned_range(ctx.node_id):
+                position = yield from ctx.read(self.mols.addr(index, MOL_POS))
+                velocity = yield from ctx.read(self.mols.addr(index, MOL_VEL))
+                new_position = (position + velocity) % self.space_cells
+                yield from ctx.compute(flops=3, overhead=2)
+                yield from ctx.write(self.mols.addr(index, MOL_POS),
+                                     new_position)
+                # Land in the destination cell: read-modify-write both
+                # fields (the migratory pattern).
+                cell_count = yield from ctx.read(
+                    self.space.addr(new_position, CELL_COUNT))
+                yield from ctx.write(
+                    self.space.addr(new_position, CELL_COUNT), cell_count + 1)
+                momentum = yield from ctx.read(
+                    self.space.addr(new_position, CELL_MOMENTUM))
+                yield from ctx.write(
+                    self.space.addr(new_position, CELL_MOMENTUM),
+                    momentum + velocity)
+            yield from ctx.barrier()
+
+    # ------------------------------------------------------------------
+    def reference_totals(self) -> tuple[int, int]:
+        """Upper bounds on the global (population, momentum) sums.
+
+        Each molecule contributes 1 to a cell count and ``velocity`` to a
+        cell momentum per step.  Like the real MP3D, cell updates are
+        unlocked read-modify-writes, so concurrent updates to one cell can
+        lose increments — the totals are therefore an upper bound (exact
+        when run on one node, or when no two molecules collide in a cell
+        in the same step).
+        """
+        rng = RngStreams(self.seed).stream("mp3d.init")
+        total_velocity = 0
+        for _ in range(self.molecules):
+            rng.randrange(self.space_cells)
+            total_velocity += rng.randrange(1, 7)
+        return (
+            self.molecules * self.iterations,
+            total_velocity * self.iterations,
+        )

@@ -1,0 +1,125 @@
+"""Trace-driven execution: replay explicit reference streams.
+
+Architecture simulators conventionally accept address traces; this module
+provides that mode.  A trace is one operation list per node; operations
+are tuples or text lines:
+
+=========  ===========================  ===========================
+tuple      text                          meaning
+=========  ===========================  ===========================
+("r", a)   ``<node> r <addr>``           read address ``a``
+("w", a, v)  ``<node> w <addr> <value>``  write ``v`` to ``a``
+("c", n)   ``<node> c <cycles>``          compute for ``n`` cycles
+("b",)     ``<node> b``                   barrier
+=========  ===========================  ===========================
+
+Addresses in text traces may be decimal or ``0x``-hex and are used
+verbatim — the caller allocates the shared region and writes addresses
+inside it.  :func:`parse_trace` reads the text form;
+:class:`TraceApplication` replays either form on any machine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.apps.base import Application, AppContext
+
+
+class TraceError(ValueError):
+    """Malformed trace input."""
+
+
+def parse_trace(lines: Iterable[str]) -> dict[int, list[tuple]]:
+    """Parse the text format into per-node operation lists.
+
+    Blank lines and ``#`` comments are ignored.  Operations execute in
+    file order per node; ordering across nodes is up to the simulator
+    (use barriers to enforce it).
+    """
+    programs: dict[int, list[tuple]] = {}
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        try:
+            node = int(fields[0])
+            op = fields[1]
+            if op == "r":
+                entry = ("r", int(fields[2], 0))
+            elif op == "w":
+                entry = ("w", int(fields[2], 0), _parse_value(fields[3]))
+            elif op == "c":
+                entry = ("c", int(fields[2]))
+            elif op == "b":
+                entry = ("b",)
+            else:
+                raise IndexError
+        except (IndexError, ValueError) as error:
+            raise TraceError(
+                f"line {line_number}: cannot parse {raw.rstrip()!r}"
+            ) from error
+        programs.setdefault(node, []).append(entry)
+    return programs
+
+
+def _parse_value(text: str):
+    try:
+        return int(text, 0)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+class TraceApplication(Application):
+    """Replays per-node operation lists through the memory system.
+
+    ``region_bytes`` shared memory is allocated at setup and its base is
+    reported via :attr:`base`; traces may use absolute addresses (set
+    ``region_bytes=0`` and allocate yourself) or offsets via
+    ``relative=True``.
+    """
+
+    name = "trace"
+
+    def __init__(self, programs: dict[int, list[tuple]],
+                 region_bytes: int = 4096, relative: bool = False):
+        self.programs = programs
+        self.region_bytes = region_bytes
+        self.relative = relative
+        self.base = 0
+        self.reads: dict[int, list] = {}
+
+    def setup(self, machine, protocol=None) -> None:
+        if self.region_bytes:
+            region = self.alloc_shared(machine, protocol, self.region_bytes,
+                                       label="trace")
+            self.base = region.base
+        self.reads = {node: [] for node in range(machine.num_nodes)}
+        for node in self.programs:
+            if not 0 <= node < machine.num_nodes:
+                raise TraceError(
+                    f"trace references node {node}; machine has "
+                    f"{machine.num_nodes}"
+                )
+
+    def _resolve(self, addr: int) -> int:
+        return self.base + addr if self.relative else addr
+
+    def worker(self, ctx: AppContext):
+        for op in self.programs.get(ctx.node_id, []):
+            kind = op[0]
+            if kind == "r":
+                value = yield from ctx.read(self._resolve(op[1]))
+                self.reads[ctx.node_id].append(value)
+            elif kind == "w":
+                yield from ctx.write(self._resolve(op[1]), op[2])
+            elif kind == "c":
+                yield from ctx.compute(overhead=op[1])
+            elif kind == "b":
+                yield from ctx.barrier()
+            else:
+                raise TraceError(f"unknown trace op {op!r}")

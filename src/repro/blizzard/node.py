@@ -1,0 +1,296 @@
+"""A Blizzard node: software access control, CPU-run handlers, polling.
+
+The node implements the same :class:`~repro.tempest.interface.Tempest`
+backend surface as a Typhoon node, so user-level protocol libraries load
+unchanged.  The differences are where the paper says they are:
+
+* **Tag checks** are inserted code: each checked load/store pays the
+  configured software check cost (0 for loads under the ECC trick).
+* **No NP.**  Arriving messages queue until the CPU polls — which the
+  inserted instrumentation does at every shared-memory reference — or
+  until the CPU is spinning for a reply anyway.  Handler instruction
+  counts are charged to the *computation thread*: handler work and
+  computation cannot overlap, which is precisely the cost Typhoon's
+  decoupled NP avoids (Section 5.1).
+* **Fault handling** is a software dispatch through the same
+  (page mode, access type) table, run inline on the faulting thread.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.memory.address import AddressLayout
+from repro.memory.cache import Cache, LineState
+from repro.memory.data import MemoryImage
+from repro.memory.page_table import PageTable
+from repro.memory.tags import Tag, TagStore
+from repro.memory.tlb import Tlb
+from repro.network.message import Message, VirtualNetwork
+from repro.sim.engine import SimulationError
+from repro.sim.process import Future
+from repro.tempest.interface import Tempest
+from repro.tempest.messaging import HandlerRegistry
+from repro.tempest.threads import ComputationThread
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.blizzard.system import BlizzardMachine
+
+
+class SoftwareDispatcher:
+    """The NP-shaped object protocols program against, minus the NP.
+
+    Holds the (page mode, access type) -> handler table and the running
+    handler's extra-charge accumulator; execution happens on the CPU in
+    :meth:`BlizzardNode._service_one`.
+    """
+
+    def __init__(self, node: "BlizzardNode"):
+        self.node = node
+        self._fault_dispatch: dict[tuple[int, bool], str] = {}
+        self.pending_charge = 0
+
+    def set_fault_handler(self, mode: int, is_write: bool, handler: str) -> None:
+        self._fault_dispatch[(mode, is_write)] = handler
+
+    def fault_handler_for(self, mode: int, is_write: bool) -> str:
+        handler = self._fault_dispatch.get((mode, is_write))
+        if handler is None:
+            raise SimulationError(
+                f"no fault handler for mode={mode} is_write={is_write} "
+                f"on node {self.node.node_id}"
+            )
+        return handler
+
+    def charge(self, cycles: int) -> None:
+        if cycles < 0:
+            raise SimulationError("cannot charge negative cycles")
+        self.pending_charge += cycles
+
+    def take_charge(self) -> int:
+        charge, self.pending_charge = self.pending_charge, 0
+        return charge
+
+
+class BlizzardNode:
+    """CPU + cache + TLB + software Tempest; handlers share the CPU."""
+
+    def __init__(self, node_id: int, machine: "BlizzardMachine"):
+        self.node_id = node_id
+        self.machine = machine
+        self.engine = machine.engine
+        self.stats = machine.stats
+        self.config = machine.config
+        self.costs = machine.config.blizzard
+        self.layout: AddressLayout = machine.layout
+        self.heap = machine.heap
+        self._prefix = f"node{node_id}"
+
+        self.tags = TagStore(self.layout, node_id)
+        self.page_table = PageTable(self.layout, self.tags, node_id)
+        self.image = MemoryImage(self.layout, node_id)
+        self.cache = Cache(
+            machine.config.cache,
+            machine.rng.stream(f"{self._prefix}.cache"),
+            name=f"{self._prefix}.cache",
+        )
+        self.cpu_tlb = Tlb(machine.config.tlb, name=f"{self._prefix}.tlb")
+        self.thread = ComputationThread(self.engine, node_id)
+        self.registry = HandlerRegistry(node_id)
+        self.np = SoftwareDispatcher(self)
+        self.tempest = Tempest(self)
+        self.page_fault_handler = None
+
+        self.written_blocks: set[int] = set()
+        self._inbox: deque[Message] = deque()
+        self._arrival: Future | None = None
+        machine.interconnect.attach(node_id, self._receive)
+
+    # ------------------------------------------------------------------
+    # TempestBackend surface
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.machine.num_nodes
+
+    def send_message(self, message: Message) -> None:
+        self.stats.incr(f"{self._prefix}.sw.messages_sent")
+        self.machine.interconnect.send(message)
+
+    def invalidate_cpu_copy(self, block_addr: int) -> None:
+        self.cache.invalidate(block_addr)
+        self.written_blocks.discard(block_addr)
+
+    def downgrade_cpu_copy(self, block_addr: int) -> None:
+        self.cache.downgrade(block_addr)
+        self.written_blocks.discard(block_addr)
+
+    def shoot_down_page(self, vaddr: int) -> None:
+        self.cpu_tlb.evict(self.layout.page_number(vaddr))
+
+    def np_charge(self, cycles: int) -> None:
+        self.np.charge(cycles)
+
+    def set_page_fault_handler(self, handler) -> None:
+        self.page_fault_handler = handler
+
+    # ------------------------------------------------------------------
+    # Message arrival and CPU-side servicing
+    # ------------------------------------------------------------------
+    def _receive(self, message: Message) -> None:
+        self._inbox.append(message)
+        if self._arrival is not None:
+            arrival, self._arrival = self._arrival, None
+            if not arrival.done:
+                arrival.resolve(None)
+
+    def _pick_next_message(self) -> Message:
+        """Response-network messages first (the deadlock discipline)."""
+        for index, message in enumerate(self._inbox):
+            if message.vnet is VirtualNetwork.RESPONSE:
+                del self._inbox[index]
+                return message
+        return self._inbox.popleft()
+
+    def _service_one(self) -> Generator:
+        """Run one queued handler on the CPU, charging its full cost."""
+        message = self._pick_next_message()
+        spec = self.registry.lookup(message.handler)
+        yield (
+            self.costs.software_dispatch_cycles
+            + spec.instructions * self.costs.cycles_per_instruction
+        )
+        self.stats.incr(f"{self._prefix}.sw.handlers_run")
+        spec.fn(self.tempest, message)
+        extra = self.np.take_charge()
+        if extra:
+            yield extra
+
+    def _poll(self) -> Generator:
+        """The inserted poll: drain whatever has arrived."""
+        yield self.costs.poll_cycles
+        while self._inbox:
+            yield from self._service_one()
+
+    def poll(self) -> Generator:
+        """Explicit user-level poll (also used by barrier-wait loops)."""
+        yield from self._poll()
+
+    def _spin_until(self, future: Future) -> Generator:
+        """Service messages until ``future`` resolves (reply wait loop).
+
+        Wakes on whichever happens first: a message arrives (its handler
+        may be the one that resumes us) or ``future`` resolves some other
+        way (e.g. a hardware-barrier release).
+        """
+        while not future.done:
+            if self._inbox:
+                yield from self._service_one()
+                continue
+            arrival = Future(self.engine)
+            self._arrival = arrival
+
+            def wake(_value, a=arrival):
+                if not a.done:
+                    a.resolve(None)
+
+            future.add_callback(wake)
+            yield arrival
+            self._arrival = None
+
+    def spin_until(self, future: Future) -> Generator:
+        """Public reply-wait loop (used by the machine's barrier wait)."""
+        yield from self._spin_until(future)
+
+    # ------------------------------------------------------------------
+    # CPU access path
+    # ------------------------------------------------------------------
+    def access(self, addr: int, is_write: bool, value: Any = None) -> Generator:
+        self.stats.incr(f"{self._prefix}.cpu.refs")
+        start = self.engine.now
+        shared = AddressLayout.is_shared(addr)
+        if shared:
+            yield from self._poll()
+        if not self.cpu_tlb.access(self.layout.page_number(addr)):
+            self.stats.incr(f"{self._prefix}.cpu.tlb_misses")
+            yield self.config.tlb.miss_cycles
+
+        block = self.layout.block_of(addr)
+        while True:
+            if shared and not self.page_table.is_mapped(addr):
+                yield from self._handle_page_fault(addr, is_write)
+                continue
+            if shared:
+                # Inserted check code (Blizzard-S/E): loads may ride the
+                # ECC trick; stores pay the lookup.
+                check = (self.costs.check_write_cycles if is_write
+                         else self.costs.check_read_cycles)
+                if check:
+                    yield check
+            if self.cache.access(block, is_write):
+                yield self.config.cache_hit_cycles
+                return self._complete(addr, is_write, value, start)
+            if shared:
+                fault = self.tags.check(addr, is_write)
+                if fault is not None:
+                    self.stats.incr(f"{self._prefix}.cpu.block_faults")
+                    yield from self._handle_block_fault(fault)
+                    continue
+            yield self.config.local_miss_cycles
+            self.stats.incr(f"{self._prefix}.cpu.local_misses")
+            if shared and self.tags.read_tag(addr) is Tag.READ_ONLY:
+                state = LineState.SHARED
+            else:
+                state = LineState.EXCLUSIVE
+            self.cache.insert(block, state)
+            return self._complete(addr, is_write, value, start)
+
+    def _handle_block_fault(self, fault) -> Generator:
+        """Software fault dispatch: handler runs inline, then spin-wait."""
+        entry = self.page_table.lookup(fault.addr)
+        handler_name = self.np.fault_handler_for(entry.mode, fault.is_write)
+        spec = self.registry.lookup(handler_name)
+        suspension = self.thread.suspend()
+        yield (
+            self.costs.software_dispatch_cycles
+            + spec.instructions * self.costs.cycles_per_instruction
+        )
+        spec.fn(self.tempest, fault)
+        extra = self.np.take_charge()
+        if extra:
+            yield extra
+        if not suspension.done:
+            yield from self._spin_until(suspension)
+
+    def _handle_page_fault(self, addr: int, is_write: bool) -> Generator:
+        self.stats.incr(f"{self._prefix}.cpu.page_faults")
+        if self.page_fault_handler is None:
+            raise SimulationError(
+                f"page fault at {addr:#x} on node {self.node_id} "
+                "with no user-level handler installed"
+            )
+        yield self.config.typhoon.page_fault_instructions
+        extra = self.page_fault_handler(self.tempest, addr, is_write)
+        if extra:
+            yield extra
+
+    def _complete(self, addr: int, is_write: bool, value: Any,
+                  start: float) -> Any:
+        if is_write:
+            self.image.write(addr, value)
+            if AddressLayout.is_shared(addr):
+                self.written_blocks.add(self.layout.block_of(addr))
+            result = None
+        else:
+            result = value = self.image.read(addr)
+        self.stats.incr(f"{self._prefix}.cpu.access_cycles",
+                        self.engine.now - start)
+        if self.machine.history is not None:
+            self.machine.history.record(
+                self.node_id, addr, is_write, value, start, self.engine.now
+            )
+        return result
+
+    def __repr__(self) -> str:
+        return f"BlizzardNode({self.node_id})"

@@ -1,0 +1,155 @@
+"""Command-line front end: ``python -m repro <experiment> [options]``.
+
+Lets a user regenerate any paper artifact without writing code::
+
+    python -m repro list
+    python -m repro table2
+    python -m repro figure3 --nodes 8 --apps ocean,em3d
+    python -m repro figure4 --nodes 32
+    python -m repro messages
+    python -m repro ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import experiments
+from repro.harness.workloads import APP_NAMES
+
+#: experiment name -> (description, runner taking the parsed args)
+_REGISTRY = {
+    "table1": (
+        "Table 1: the nine tagged-block operations, exercised live",
+        lambda args: [experiments.run_table1()],
+    ),
+    "table2": (
+        "Table 2: simulation parameters, configured vs. paper",
+        lambda args: [experiments.run_table2()],
+    ),
+    "table3": (
+        "Table 3: application data sets, paper vs. scaled",
+        lambda args: [experiments.run_table3()],
+    ),
+    "figure3": (
+        "Figure 3: Typhoon/Stache execution time relative to DirNNB",
+        lambda args: [
+            experiments.run_figure3(
+                apps=args.app_list, nodes=args.nodes, seed=args.seed
+            )
+        ],
+    ),
+    "figure4": (
+        "Figure 4: EM3D cycles/edge vs. % remote edges, three systems",
+        lambda args: [
+            experiments.run_figure4(nodes=args.nodes, seed=args.seed)
+        ],
+    ),
+    "breakdown": (
+        "Execution-time decomposition: compute / memory / barrier",
+        lambda args: [
+            experiments.run_time_breakdown(nodes=args.nodes, seed=args.seed)
+        ],
+    ),
+    "granularity": (
+        "Fine-grain (Stache) vs. page-grain (IVY) coherence",
+        lambda args: [
+            experiments.run_granularity(nodes=min(args.nodes, 4),
+                                        seed=args.seed)
+        ],
+    ),
+    "migratory": (
+        "MP3D under Stache vs. the user-level migratory optimization",
+        lambda args: [
+            experiments.run_migratory_protocol(nodes=args.nodes,
+                                               seed=args.seed)
+        ],
+    ),
+    "software-tempest": (
+        "The same Stache library on Typhoon vs. an all-software backend",
+        lambda args: [
+            experiments.run_software_tempest(nodes=args.nodes,
+                                             seed=args.seed)
+        ],
+    ),
+    "messages": (
+        "Section 4's message-economy argument, measured",
+        lambda args: [
+            experiments.run_message_economy(nodes=args.nodes, seed=args.seed)
+        ],
+    ),
+    "ablations": (
+        "NP-speed, topology, contention, and first-touch ablations",
+        lambda args: [
+            experiments.run_ablation_np_speed(seed=args.seed),
+            experiments.run_ablation_topology(nodes=args.nodes,
+                                              seed=args.seed),
+            experiments.run_ablation_contention(nodes=args.nodes,
+                                                seed=args.seed),
+            experiments.run_ablation_barrier(nodes=args.nodes,
+                                             seed=args.seed),
+            experiments.run_ablation_first_touch(nodes=args.nodes,
+                                                 seed=args.seed),
+        ],
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of 'Tempest and "
+                    "Typhoon: User-Level Shared Memory' (ISCA 1994).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_REGISTRY) + ["list", "all"],
+        help="which artifact to regenerate ('list' to enumerate)",
+    )
+    parser.add_argument("--nodes", type=int, default=8,
+                        help="simulated processors (paper: 32; default 8)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="master RNG seed (default 42)")
+    parser.add_argument("--apps", type=str, default=",".join(APP_NAMES),
+                        help="figure3 only: comma-separated app subset")
+    parser.add_argument("--format", choices=("text", "csv", "json"),
+                        default="text", help="output format (default text)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.app_list = tuple(
+        name.strip() for name in args.apps.split(",") if name.strip()
+    )
+    unknown = [name for name in args.app_list if name not in APP_NAMES]
+    if unknown:
+        parser.error(f"unknown applications {unknown}; pick from {APP_NAMES}")
+
+    if args.experiment == "list":
+        width = max(len(name) for name in _REGISTRY)
+        for name in sorted(_REGISTRY):
+            print(f"{name:<{width}}  {_REGISTRY[name][0]}")
+        return 0
+
+    names = sorted(_REGISTRY) if args.experiment == "all" else [args.experiment]
+    first = True
+    for name in names:
+        if not first:
+            print()
+        first = False
+        _description, runner = _REGISTRY[name]
+        for result in runner(args):
+            if args.format == "csv":
+                print(result.to_csv(), end="")
+            elif args.format == "json":
+                print(result.to_json())
+            else:
+                print(result.to_text())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Experiment harness: regenerate every table and figure of Section 6.
+
+The registry in :mod:`repro.harness.experiments` maps each paper artifact
+to a runnable experiment:
+
+===========  ========================================================
+``table1``   the nine tagged-block operations, exercised live
+``table2``   the simulation parameters in force (must equal the paper)
+``table3``   the application data sets (paper and scaled)
+``figure3``  Typhoon/Stache execution time relative to DirNNB
+``figure4``  EM3D cycles/edge vs. % remote edges, three systems
+===========  ========================================================
+
+Each experiment returns an :class:`~repro.harness.report.ExperimentResult`
+whose ``to_text()`` prints the same rows/series the paper reports.
+"""
+
+from repro.harness.report import ExperimentResult
+from repro.harness.runner import build_machine, run_application
+from repro.harness.sweep import Sweep
+from repro.harness.trace import ProtocolTrace
+from repro.harness import experiments
+
+__all__ = [
+    "ExperimentResult",
+    "ProtocolTrace",
+    "Sweep",
+    "build_machine",
+    "experiments",
+    "run_application",
+]

@@ -1,0 +1,97 @@
+"""Result containers and rendering (text, CSV, JSON) for experiments."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """A titled table of result rows (one per configuration/series point)."""
+
+    experiment_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        missing = [column for column in self.columns if column not in values]
+        if missing:
+            raise ValueError(f"row missing columns {missing}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        return [row[name] for row in self.rows]
+
+    def rows_where(self, **criteria: Any) -> list[dict[str, Any]]:
+        return [
+            row for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Render as an aligned text table, paper style."""
+
+        def format_cell(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        table = [self.columns] + [
+            [format_cell(row[column]) for column in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(line[index]) for line in table)
+            for index in range(len(self.columns))
+        ]
+        divider = "-+-".join("-" * width for width in widths)
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(
+            " | ".join(cell.ljust(width)
+                       for cell, width in zip(table[0], widths))
+        )
+        lines.append(divider)
+        for body_line in table[1:]:
+            lines.append(
+                " | ".join(cell.ljust(width)
+                           for cell, width in zip(body_line, widths))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render as CSV (header row + one line per result row)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow([row[column] for column in self.columns])
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """Render as a JSON document with metadata, rows, and notes."""
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "columns": self.columns,
+                "rows": [
+                    {column: row[column] for column in self.columns}
+                    for row in self.rows
+                ],
+                "notes": self.notes,
+            },
+            indent=2,
+            default=str,
+        )
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -1,0 +1,63 @@
+"""Machine construction and single-run execution for experiments."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.apps.base import run_app
+from repro.protocols.dirnnb import DirNNBMachine
+from repro.protocols.em3d_update import Em3dUpdateProtocol
+from repro.protocols.stache import StacheProtocol
+from repro.sim.config import MachineConfig
+
+#: The three systems of Section 6, plus the software-Tempest extension.
+SYSTEMS = ("dirnnb", "typhoon-stache", "typhoon-update", "blizzard-stache")
+
+
+def build_machine(system: str, config: MachineConfig):
+    """Build a machine (with its protocol installed) for one system name.
+
+    Returns ``(machine, protocol)``; protocol is None for DirNNB.
+    """
+    if system == "dirnnb":
+        return DirNNBMachine(config), None
+    if system == "typhoon-stache":
+        from repro.typhoon.system import TyphoonMachine
+
+        machine = TyphoonMachine(config)
+        protocol = StacheProtocol()
+        machine.install_protocol(protocol)
+        return machine, protocol
+    if system == "typhoon-update":
+        from repro.typhoon.system import TyphoonMachine
+
+        machine = TyphoonMachine(config)
+        protocol = Em3dUpdateProtocol()
+        machine.install_protocol(protocol)
+        return machine, protocol
+    if system == "blizzard-stache":
+        from repro.blizzard.system import BlizzardMachine
+
+        machine = BlizzardMachine(config)
+        protocol = StacheProtocol()
+        machine.install_protocol(protocol)
+        return machine, protocol
+    raise ValueError(f"unknown system {system!r}; expected one of {SYSTEMS}")
+
+
+def run_application(system: str, app, config: MachineConfig) -> dict[str, Any]:
+    """Run ``app`` on a fresh machine; returns timing and key statistics."""
+    machine, protocol = build_machine(system, config)
+    execution_time = run_app(machine, app, protocol)
+    stats = machine.stats
+    return {
+        "system": system,
+        "execution_time": execution_time,
+        "refs": stats.total(".cpu.refs"),
+        "remote_packets": (stats.get("network.packets")
+                           - stats.get("network.local_packets")),
+        "network_words": stats.get("network.words"),
+        "block_faults": stats.total(".cpu.block_faults"),
+        "page_faults": stats.total(".cpu.page_faults"),
+        "machine": machine,
+    }

@@ -1,0 +1,98 @@
+"""Generic parameter sweeps: systems x workloads x configurations.
+
+The figure runners in :mod:`repro.harness.experiments` are hand-shaped to
+the paper's artifacts; this utility is the general tool behind ad-hoc
+studies — run every combination of the axes you name, collect one row per
+cell, render or export.
+
+Example::
+
+    from repro.harness.sweep import Sweep
+
+    sweep = (
+        Sweep()
+        .systems("dirnnb", "typhoon-stache")
+        .workloads(("ocean", "small"), ("em3d", "small"))
+        .cache_sizes(512, 8192)
+        .seeds(42, 43)
+    )
+    result = sweep.run(nodes=4)
+    print(result.to_text())
+    open("sweep.csv", "w").write(result.to_csv())
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import ExperimentResult
+from repro.harness.runner import run_application
+from repro.harness.workloads import workload
+from repro.sim.config import MachineConfig
+
+
+class Sweep:
+    """A cartesian sweep builder (fluent interface)."""
+
+    def __init__(self) -> None:
+        self._systems: list[str] = ["typhoon-stache"]
+        self._workloads: list[tuple[str, str]] = [("ocean", "small")]
+        self._cache_sizes: list[int] = [8192]
+        self._seeds: list[int] = [42]
+
+    # ------------------------------------------------------------------
+    def systems(self, *names: str) -> "Sweep":
+        self._systems = list(names)
+        return self
+
+    def workloads(self, *pairs: tuple[str, str]) -> "Sweep":
+        self._workloads = [tuple(pair) for pair in pairs]
+        return self
+
+    def cache_sizes(self, *sizes: int) -> "Sweep":
+        self._cache_sizes = list(sizes)
+        return self
+
+    def seeds(self, *seeds: int) -> "Sweep":
+        self._seeds = list(seeds)
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def cells(self) -> int:
+        return (len(self._systems) * len(self._workloads)
+                * len(self._cache_sizes) * len(self._seeds))
+
+    def run(self, nodes: int = 8,
+            progress=None) -> ExperimentResult:
+        """Run every cell; ``progress(done, total)`` is called per cell."""
+        result = ExperimentResult(
+            "sweep",
+            f"{self.cells}-cell sweep at {nodes} nodes",
+            ["system", "application", "dataset", "cache", "seed",
+             "cycles", "refs", "remote_packets"],
+        )
+        done = 0
+        for app_name, dataset in self._workloads:
+            for cache_bytes in self._cache_sizes:
+                for seed in self._seeds:
+                    for system in self._systems:
+                        config = MachineConfig(
+                            nodes=nodes, seed=seed
+                        ).with_cache_size(cache_bytes)
+                        outcome = run_application(
+                            system, workload(app_name, dataset).build(),
+                            config,
+                        )
+                        result.add_row(
+                            system=system,
+                            application=app_name,
+                            dataset=dataset,
+                            cache=cache_bytes,
+                            seed=seed,
+                            cycles=outcome["execution_time"],
+                            refs=outcome["refs"],
+                            remote_packets=outcome["remote_packets"],
+                        )
+                        done += 1
+                        if progress is not None:
+                            progress(done, self.cells)
+        return result

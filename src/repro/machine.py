@@ -1,0 +1,127 @@
+"""Common machine assembly shared by the Typhoon and DirNNB targets.
+
+A *machine* owns the simulation engine, the statistics registry, the
+shared-segment heap, the interconnect, and the barrier network, and builds
+one node per processor.  The two target systems of Section 6 —
+Typhoon running user-level protocols, and the all-hardware DirNNB
+system — are both machines; applications run unchanged on either
+(the paper: "Unaltered shared-memory programs are simply re-linked with
+the Stache runtime library").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.memory.address import AddressLayout
+from repro.memory.allocator import GlobalHeap
+from repro.network.interconnect import BarrierNetwork, Interconnect
+from repro.network.topology import make_topology
+from repro.sim.config import MachineConfig
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.process import Process
+from repro.sim.rng import RngStreams
+from repro.sim.stats import Stats
+
+
+class MachineBase:
+    """Engine + interconnect + heap + nodes; subclasses add the node type."""
+
+    #: Human-readable protocol/system name (subclasses override).
+    system_name = "base"
+
+    def __init__(self, config: MachineConfig):
+        config.validate()
+        self.config = config
+        self.engine = Engine()
+        self.stats = Stats()
+        self.rng = RngStreams(config.seed)
+        self.layout = AddressLayout(config.block_size, config.page_size)
+        self.heap = GlobalHeap(self.layout, config.nodes)
+        topology = make_topology(
+            config.network.topology,
+            config.nodes,
+            config.network.latency,
+            config.network.mesh_per_hop,
+        )
+        self.interconnect = Interconnect(
+            self.engine, config.network, topology, self.stats,
+            model_contention=config.network.model_contention,
+        )
+        self.barrier = BarrierNetwork(
+            self.engine, config.nodes, config.network.barrier_latency, self.stats
+        )
+        self.nodes: list = []
+        self.execution_time: float = 0
+        self._finish_times: dict[int, float] = {}
+        #: Optional access recorder (see repro.protocols.history); when
+        #: set, every CPU access is recorded for consistency checking.
+        self.history = None
+        #: Observers called with each AccessFault the hardware captures
+        #: (see repro.harness.trace).
+        self.fault_observers: list = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.config.nodes
+
+    def node(self, node_id: int):
+        return self.nodes[node_id]
+
+    def barrier_wait(self, node_id: int):
+        """Generator: arrive at the machine barrier and wait for release.
+
+        Machines without a hardware barrier (or whose nodes must keep
+        servicing protocol work while stalled) override this.
+        """
+        yield self.barrier.arrive(node_id)
+
+    def wait(self, node_id: int, future):
+        """Generator: block ``node_id``'s thread on ``future``.
+
+        The backend-agnostic way to wait for a completion (e.g. a bulk
+        transfer): on machines whose nodes must service protocol work
+        while stalled (no NP), this spins the dispatcher.
+        """
+        yield future
+
+    # ------------------------------------------------------------------
+    def run_workers(
+        self, worker_factory: Callable[[int], Generator]
+    ) -> dict[int, float]:
+        """Run one worker generator per node to completion.
+
+        ``worker_factory(node_id)`` produces the node's computation
+        thread.  Returns per-node finish times; ``execution_time`` is the
+        slowest node (the quantity Figure 3 reports).
+        """
+        self._finish_times = {}
+        processes = []
+        for node_id in range(self.num_nodes):
+            process = Process(
+                self.engine, worker_factory(node_id), name=f"cpu{node_id}"
+            )
+            process.finished.add_callback(
+                lambda _value, node_id=node_id: self._record_finish(node_id)
+            )
+            processes.append(process)
+        self.engine.run()
+        unfinished = [p.name for p in processes if not p.finished.done]
+        if unfinished:
+            raise SimulationError(
+                f"deadlock: workers never finished: {unfinished} "
+                f"(clock={self.engine.now})"
+            )
+        self.execution_time = max(self._finish_times.values(), default=0)
+        self.stats.set_max("machine.execution_time", self.execution_time)
+        return dict(self._finish_times)
+
+    def _record_finish(self, node_id: int) -> None:
+        self._finish_times[node_id] = self.engine.now
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(nodes={self.num_nodes}, "
+            f"cache={self.config.cache.size_bytes}B)"
+        )

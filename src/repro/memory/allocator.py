@@ -1,0 +1,129 @@
+"""Shared-segment allocation and the distributed page-home table.
+
+Stache (Section 3) associates each shared virtual page with a *home node*
+through "a distributed mapping table"; by default pages are assigned
+round-robin (IVY's fixed distributed manager algorithm, Section 7), but
+the allocator also lets a caller place pages on specific nodes, which both
+the applications (owners-compute data placement) and the EM3D custom
+protocol rely on.
+
+:class:`GlobalHeap` is a bump allocator over the shared segment.  It is a
+*logical* structure shared by the runtime on every node — the simulated
+equivalent of each node computing the same deterministic allocation during
+a parallel program's (replicated) initialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.address import SHARED_BASE, AddressLayout, AddressSpaceError
+
+
+@dataclass(frozen=True)
+class SharedRegion:
+    """A contiguous shared allocation."""
+
+    base: int
+    size: int
+    home: int
+    label: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def __contains__(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class GlobalHeap:
+    """Page-granular allocator for the shared heap segment."""
+
+    def __init__(self, layout: AddressLayout, nodes: int):
+        if nodes < 1:
+            raise AddressSpaceError("need at least one node")
+        self.layout = layout
+        self.nodes = nodes
+        self._next_addr = SHARED_BASE
+        self._next_home = 0
+        self._page_home: dict[int, int] = {}
+        self._regions: list[SharedRegion] = []
+
+    # ------------------------------------------------------------------
+    def allocate(self, size: int, home: int | None = None, label: str = "") -> SharedRegion:
+        """Allocate ``size`` bytes of shared memory, page aligned.
+
+        ``home=None`` assigns each allocated page round-robin across
+        nodes; an explicit ``home`` places every page of the region there.
+        """
+        if size <= 0:
+            raise AddressSpaceError(f"allocation size must be positive, got {size}")
+        if home is not None and not 0 <= home < self.nodes:
+            raise AddressSpaceError(f"home node {home} out of range")
+        pages = -(-size // self.layout.page_size)  # ceiling division
+        base = self._next_addr
+        self._next_addr += pages * self.layout.page_size
+        for index in range(pages):
+            page_addr = base + index * self.layout.page_size
+            if home is None:
+                page_home = self._next_home
+                self._next_home = (self._next_home + 1) % self.nodes
+            else:
+                page_home = home
+            self._page_home[page_addr] = page_home
+        region = SharedRegion(base=base, size=pages * self.layout.page_size,
+                              home=home if home is not None else -1, label=label)
+        self._regions.append(region)
+        return region
+
+    def allocate_striped(self, size_per_node: int, label: str = "") -> list[SharedRegion]:
+        """One region per node, each homed on its node (owners-compute layout)."""
+        return [
+            self.allocate(size_per_node, home=node, label=f"{label}[{node}]")
+            for node in range(self.nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    def home_of(self, addr: int) -> int:
+        """The distributed mapping table: home node of an address's page."""
+        page_addr = self.layout.page_of(addr)
+        home = self._page_home.get(page_addr)
+        if home is None:
+            raise AddressSpaceError(f"address {addr:#x} is not allocated")
+        return home
+
+    def rehome(self, addr: int, new_home: int) -> None:
+        """Move a page's entry in the distributed mapping table.
+
+        Used by explicit page migration; the page must already be
+        allocated.
+        """
+        page_addr = self.layout.page_of(addr)
+        if page_addr not in self._page_home:
+            raise AddressSpaceError(f"page {page_addr:#x} is not allocated")
+        if not 0 <= new_home < self.nodes:
+            raise AddressSpaceError(f"home node {new_home} out of range")
+        self._page_home[page_addr] = new_home
+
+    def is_allocated(self, addr: int) -> bool:
+        return self.layout.page_of(addr) in self._page_home
+
+    def pages_homed_on(self, node: int) -> list[int]:
+        return sorted(
+            page for page, home in self._page_home.items() if home == node
+        )
+
+    @property
+    def regions(self) -> list[SharedRegion]:
+        return list(self._regions)
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._next_addr - SHARED_BASE
+
+    def __repr__(self) -> str:
+        return (
+            f"GlobalHeap(nodes={self.nodes}, "
+            f"allocated={self.bytes_allocated} bytes)"
+        )

@@ -1,0 +1,76 @@
+"""Per-node memory images: the actual data values.
+
+The simulator is not organized around a byte array; applications read and
+write Python values at word-aligned virtual addresses.  Each node holds a
+:class:`MemoryImage` representing the contents of its local physical
+memory (for pages it has mapped).  Coherence-protocol block transfers copy
+the word values of one 32-byte block between images, which is exactly what
+lets the test suite verify *data* coherence (a read observes the value of
+the most recent write under the protocol's ordering), not just state-
+machine plausibility.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.memory.address import AddressLayout
+
+
+class MemoryImage:
+    """Word-granularity data storage for one node's mapped pages."""
+
+    def __init__(self, layout: AddressLayout, node: int = 0):
+        self.layout = layout
+        self.node = node
+        self._words: dict[int, Any] = {}
+
+    def read(self, addr: int, default: Any = 0) -> Any:
+        return self._words.get(addr, default)
+
+    def write(self, addr: int, value: Any) -> None:
+        self._words[addr] = value
+
+    # ------------------------------------------------------------------
+    # Block transfer support
+    # ------------------------------------------------------------------
+    def export_block(self, block_addr: int) -> dict[int, Any]:
+        """Snapshot the words of one block (offset -> value), sparsely."""
+        base = self.layout.block_of(block_addr)
+        end = base + self.layout.block_size
+        return {
+            addr - base: value
+            for addr, value in self._words.items()
+            if base <= addr < end
+        }
+
+    def import_block(self, block_addr: int, payload: dict[int, Any]) -> None:
+        """Overwrite one block's words from a snapshot.
+
+        Words absent from the payload are cleared: after a block copy the
+        destination must equal the source exactly, or stale values could
+        masquerade as coherent data.
+        """
+        base = self.layout.block_of(block_addr)
+        for offset in range(0, self.layout.block_size):
+            addr = base + offset
+            if offset in payload:
+                self._words[addr] = payload[offset]
+            elif addr in self._words:
+                del self._words[addr]
+
+    def clear_page(self, page_addr: int) -> None:
+        base = self.layout.page_of(page_addr)
+        end = base + self.layout.page_size
+        for addr in [a for a in self._words if base <= a < end]:
+            del self._words[addr]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        return iter(self._words.items())
+
+    def __repr__(self) -> str:
+        return f"MemoryImage(node={self.node}, words={len(self._words)})"

@@ -1,0 +1,156 @@
+"""Fine-grain access control: tagged memory blocks (paper Section 2.4).
+
+Every aligned memory block carries an access tag:
+
+* ``READ_WRITE`` — loads and stores complete normally;
+* ``READ_ONLY``  — loads complete, stores fault;
+* ``INVALID``    — loads and stores fault;
+* ``BUSY``       — same access semantics as INVALID, but distinguishable
+  by higher-level software (Typhoon's RTLB encodes it; protocols use it to
+  mark blocks with a fetch in flight, e.g. prefetched blocks).
+
+The nine Table 1 operations are implemented across two layers: this module
+provides the tag array and the checked/unchecked access primitives; thread
+suspension and handler dispatch (``read``/``write`` faulting and
+``resume``) live in :mod:`repro.tempest.access` and
+:mod:`repro.typhoon.np`, which own the threads and the hardware.
+
+Tags exist only for pages registered with the store (the shared segment);
+private memory is untagged and always accessible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.memory.address import AddressLayout
+
+
+class Tag(enum.Enum):
+    READ_WRITE = "ReadWrite"
+    READ_ONLY = "ReadOnly"
+    INVALID = "Invalid"
+    BUSY = "Busy"
+
+    def permits(self, is_write: bool) -> bool:
+        if self is Tag.READ_WRITE:
+            return True
+        if self is Tag.READ_ONLY:
+            return not is_write
+        return False
+
+
+@dataclass(frozen=True)
+class AccessFault:
+    """A block access fault: the information Typhoon's BAF buffer captures."""
+
+    addr: int
+    block_addr: int
+    is_write: bool
+    tag: Tag
+    node: int
+
+    @property
+    def kind(self) -> str:
+        access = "write" if self.is_write else "read"
+        return f"{access}-{self.tag.value}"
+
+
+class TagStoreError(RuntimeError):
+    """Structural misuse: tagging unregistered pages, etc."""
+
+
+class TagStore:
+    """Per-node array of block access tags, organized by page."""
+
+    def __init__(self, layout: AddressLayout, node: int = 0):
+        self.layout = layout
+        self.node = node
+        # page base address -> list of tags, one per block in the page.
+        self._pages: dict[int, list[Tag]] = {}
+
+    # ------------------------------------------------------------------
+    # Page registration (called by the page table on map/unmap)
+    # ------------------------------------------------------------------
+    def register_page(self, page_addr: int, initial: Tag) -> None:
+        page_addr = self.layout.page_of(page_addr)
+        if page_addr in self._pages:
+            raise TagStoreError(f"page {page_addr:#x} already registered")
+        self._pages[page_addr] = [initial] * self.layout.blocks_per_page
+
+    def drop_page(self, page_addr: int) -> None:
+        page_addr = self.layout.page_of(page_addr)
+        if page_addr not in self._pages:
+            raise TagStoreError(f"page {page_addr:#x} not registered")
+        del self._pages[page_addr]
+
+    def has_page(self, page_addr: int) -> bool:
+        return self.layout.page_of(page_addr) in self._pages
+
+    def _slot(self, addr: int) -> tuple[list[Tag], int]:
+        page_addr = self.layout.page_of(addr)
+        tags = self._pages.get(page_addr)
+        if tags is None:
+            raise TagStoreError(f"no tags for unmapped page {page_addr:#x}")
+        return tags, self.layout.block_index_in_page(addr)
+
+    # ------------------------------------------------------------------
+    # Checked accesses (Table 1: read, write)
+    # ------------------------------------------------------------------
+    def check(self, addr: int, is_write: bool) -> AccessFault | None:
+        """Tag-check an access; returns a fault record or None if permitted."""
+        tags, index = self._slot(addr)
+        tag = tags[index]
+        if tag.permits(is_write):
+            return None
+        return AccessFault(
+            addr=addr,
+            block_addr=self.layout.block_of(addr),
+            is_write=is_write,
+            tag=tag,
+            node=self.node,
+        )
+
+    # ------------------------------------------------------------------
+    # Tag manipulation (Table 1: read-tag, set-RW, set-RO, invalidate)
+    # ------------------------------------------------------------------
+    def read_tag(self, addr: int) -> Tag:
+        tags, index = self._slot(addr)
+        return tags[index]
+
+    def set_tag(self, addr: int, tag: Tag) -> None:
+        tags, index = self._slot(addr)
+        tags[index] = tag
+
+    def set_rw(self, addr: int) -> None:
+        self.set_tag(addr, Tag.READ_WRITE)
+
+    def set_ro(self, addr: int) -> None:
+        self.set_tag(addr, Tag.READ_ONLY)
+
+    def invalidate(self, addr: int) -> None:
+        """Set INVALID.  Invalidating local hardware-cache copies is the
+        caller's job (the NP issues the MBus invalidate; see
+        :meth:`repro.typhoon.np.NetworkProcessor.op_invalidate`)."""
+        self.set_tag(addr, Tag.INVALID)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def page_tags(self, page_addr: int) -> list[Tag]:
+        page_addr = self.layout.page_of(page_addr)
+        tags = self._pages.get(page_addr)
+        if tags is None:
+            raise TagStoreError(f"no tags for unmapped page {page_addr:#x}")
+        return list(tags)
+
+    def counts(self) -> dict[Tag, int]:
+        result = {tag: 0 for tag in Tag}
+        for tags in self._pages.values():
+            for tag in tags:
+                result[tag] += 1
+        return result
+
+    def __repr__(self) -> str:
+        return f"TagStore(node={self.node}, pages={len(self._pages)})"

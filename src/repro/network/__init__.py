@@ -1,0 +1,23 @@
+"""Point-to-point interconnect substrate.
+
+Models the aspects of Typhoon's CM-5-derived network that the paper says
+matter (Section 5): two independent virtual networks for deadlock
+avoidance, a 20-word maximum packet payload, and the flat 11-cycle latency
+of Table 2.  A 2-D mesh hop model is available as an ablation.  A separate
+low-latency barrier network mirrors the CM-5 control network
+(``barrier_latency`` in Table 2).
+"""
+
+from repro.network.message import Message, VirtualNetwork
+from repro.network.interconnect import BarrierNetwork, Interconnect
+from repro.network.topology import IdealTopology, Mesh2D, make_topology
+
+__all__ = [
+    "BarrierNetwork",
+    "IdealTopology",
+    "Interconnect",
+    "Mesh2D",
+    "Message",
+    "VirtualNetwork",
+    "make_topology",
+]

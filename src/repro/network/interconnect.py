@@ -1,0 +1,141 @@
+"""The interconnect: message delivery and the hardware barrier network.
+
+Delivery preserves point-to-point FIFO order per (source, destination,
+virtual network) channel — the property protocols rely on.  Latency comes
+from the topology model; the paper's simulations "do not accurately model
+network ... contention" (Section 6) and neither, by default, do we, but a
+simple serialization model (one packet per channel per cycle) can be
+enabled to check that the conclusions are contention-robust.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.network.message import Message
+from repro.network.topology import IdealTopology, Mesh2D
+from repro.sim.config import NetworkConfig
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.process import Future
+from repro.sim.stats import Stats
+
+
+class Interconnect:
+    """Routes messages between attached nodes."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: NetworkConfig,
+        topology: IdealTopology | Mesh2D,
+        stats: Stats | None = None,
+        model_contention: bool = False,
+    ):
+        self.engine = engine
+        self.config = config
+        self.topology = topology
+        self.stats = stats if stats is not None else Stats()
+        self.model_contention = model_contention
+        self._sinks: dict[int, Callable[[Message], None]] = {}
+        # channel -> earliest time the next delivery may occur (FIFO floor).
+        self._channel_clear: dict[tuple[int, int, int], float] = {}
+        #: Observers called with ("send"|"deliver", message); used by the
+        #: protocol trace tool.
+        self.observers: list[Callable[[str, Message], None]] = []
+
+    # ------------------------------------------------------------------
+    def attach(self, node: int, sink: Callable[[Message], None]) -> None:
+        """Register the delivery callback for one node (its NP or controller)."""
+        if node in self._sinks:
+            raise SimulationError(f"node {node} already attached")
+        self._sinks[node] = sink
+
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Inject a packet; it arrives after the topology latency.
+
+        Local messages (src == dst) short-circuit the network and arrive
+        next cycle, modelling the CPU->local-NP direct path of Section 5.1.
+        """
+        if message.dst not in self._sinks:
+            raise SimulationError(f"message to unattached node {message.dst}")
+        message.validated(self.config.max_payload_words)
+        message.send_time = self.engine.now
+
+        self.stats.incr("network.packets")
+        self.stats.incr("network.words", message.size_words)
+        for observer in self.observers:
+            observer("send", message)
+        if message.is_local:
+            self.stats.incr("network.local_packets")
+            self.engine.schedule(1, self._deliver, message)
+            return
+
+        latency = self.topology.latency(message.src, message.dst)
+        arrival = self.engine.now + latency
+        channel = (message.src, message.dst, int(message.vnet))
+        floor = self._channel_clear.get(channel, 0)
+        if arrival < floor:
+            arrival = floor  # preserve FIFO order on the channel
+        if self.model_contention:
+            # Serialize the channel: a packet occupies it for its word count.
+            self._channel_clear[channel] = arrival + message.size_words
+        else:
+            self._channel_clear[channel] = arrival
+        self.stats.sample("network.latency", arrival - self.engine.now)
+        self.engine.schedule_at(arrival, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        for observer in self.observers:
+            observer("deliver", message)
+        self._sinks[message.dst](message)
+        if message.on_delivered is not None:
+            message.on_delivered(message)
+
+    @property
+    def attached_nodes(self) -> list[int]:
+        return sorted(self._sinks)
+
+    def __repr__(self) -> str:
+        return f"Interconnect({len(self._sinks)} nodes, {self.topology!r})"
+
+
+class BarrierNetwork:
+    """The dedicated low-latency barrier (CM-5 control network analogue).
+
+    ``arrive(node)`` returns a future that resolves ``barrier_latency``
+    cycles after the last participant arrives.  Episodes are implicit and
+    sequential: all participants of episode *k* must arrive before any
+    participant may arrive for episode *k+1* — which the returned futures
+    enforce naturally, since a process cannot re-arrive until released.
+    """
+
+    def __init__(self, engine: Engine, participants: int, latency: int,
+                 stats: Stats | None = None):
+        if participants < 1:
+            raise SimulationError("barrier needs at least one participant")
+        self.engine = engine
+        self.participants = participants
+        self.latency = latency
+        self.stats = stats if stats is not None else Stats()
+        self._waiting: dict[int, Future] = {}
+        self.episodes = 0
+
+    def arrive(self, node: int) -> Future:
+        if node in self._waiting:
+            raise SimulationError(f"node {node} arrived at the barrier twice")
+        future = Future(self.engine)
+        self._waiting[node] = future
+        if len(self._waiting) == self.participants:
+            waiters, self._waiting = self._waiting, {}
+            self.episodes += 1
+            self.stats.incr("barrier.episodes")
+            for waiter in waiters.values():
+                self.engine.schedule(self.latency, waiter.resolve, None)
+        return future
+
+    def __repr__(self) -> str:
+        return (
+            f"BarrierNetwork(waiting={len(self._waiting)}/"
+            f"{self.participants}, episodes={self.episodes})"
+        )

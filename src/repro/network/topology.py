@@ -1,0 +1,79 @@
+"""Latency models for the interconnect.
+
+The paper charges a flat network latency (11 cycles, Table 2) regardless
+of node pair; :class:`IdealTopology` reproduces that.  :class:`Mesh2D`
+charges per-hop latency on a 2-D mesh and exists for the topology ablation
+bench — it answers "would the Figure 3/4 conclusions survive a less
+forgiving network?".
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class IdealTopology:
+    """Constant latency between any two distinct nodes."""
+
+    def __init__(self, nodes: int, latency: int):
+        self.nodes = nodes
+        self.base_latency = latency
+
+    def latency(self, src: int, dst: int) -> int:
+        if src == dst:
+            return 0
+        return self.base_latency
+
+    def __repr__(self) -> str:
+        return f"IdealTopology(nodes={self.nodes}, latency={self.base_latency})"
+
+
+class Mesh2D:
+    """Dimension-ordered 2-D mesh: latency = base + per_hop * manhattan hops.
+
+    The node grid is the most-square factorization of the node count
+    (32 nodes -> 4 x 8).
+    """
+
+    def __init__(self, nodes: int, base_latency: int, per_hop: int):
+        self.nodes = nodes
+        self.base_latency = base_latency
+        self.per_hop = per_hop
+        self.width = self._best_width(nodes)
+        self.height = -(-nodes // self.width)
+
+    @staticmethod
+    def _best_width(nodes: int) -> int:
+        best = 1
+        for width in range(1, int(math.isqrt(nodes)) + 1):
+            if nodes % width == 0:
+                best = width
+        return best
+
+    def coords(self, node: int) -> tuple[int, int]:
+        return node % self.width, node // self.width
+
+    def hops(self, src: int, dst: int) -> int:
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def latency(self, src: int, dst: int) -> int:
+        if src == dst:
+            return 0
+        return self.base_latency + self.per_hop * self.hops(src, dst)
+
+    def __repr__(self) -> str:
+        return (
+            f"Mesh2D({self.width}x{self.height}, base={self.base_latency}, "
+            f"per_hop={self.per_hop})"
+        )
+
+
+def make_topology(name: str, nodes: int, base_latency: int, per_hop: int = 2):
+    """Topology factory keyed by :class:`repro.sim.config.NetworkConfig`."""
+    if name == "ideal":
+        return IdealTopology(nodes, base_latency)
+    if name == "mesh2d":
+        return Mesh2D(nodes, base_latency, per_hop)
+    raise ValueError(f"unknown topology {name!r}")

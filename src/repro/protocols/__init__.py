@@ -1,0 +1,51 @@
+"""Coherence protocols.
+
+Three protocols, matching Section 6's three systems:
+
+* :mod:`repro.protocols.dirnnb` — the all-hardware **DirNNB**
+  directory-based invalidation protocol (the baseline), with the Table 2
+  hardware cost model;
+* :mod:`repro.protocols.stache` — **Stache** (Section 3), transparent
+  shared memory in user-level software on Tempest: page-grain allocation,
+  block-grain coherence, a LimitLESS-like software directory, FIFO page
+  replacement;
+* :mod:`repro.protocols.em3d_update` — the custom **delayed-update**
+  protocol for EM3D (Section 4): inconsistency within a step, explicit
+  value-only updates at step end, no acknowledgments, fuzzy barrier.
+"""
+
+from repro.protocols.directory import (
+    DirectoryState,
+    HardwareDirectoryEntry,
+    SoftwareDirectoryEntry,
+)
+from repro.protocols.dirnnb import DirNNBMachine
+from repro.protocols.stache import StacheProtocol
+from repro.protocols.em3d_update import Em3dUpdateProtocol
+from repro.protocols.ivy import IvyProtocol
+from repro.protocols.migratory import MigratoryProtocol
+from repro.protocols.history import (
+    AccessHistory,
+    check_register_consistency,
+)
+from repro.protocols.verify import (
+    CoherenceViolation,
+    check_dirnnb_coherence,
+    check_stache_coherence,
+)
+
+__all__ = [
+    "AccessHistory",
+    "CoherenceViolation",
+    "DirNNBMachine",
+    "DirectoryState",
+    "Em3dUpdateProtocol",
+    "HardwareDirectoryEntry",
+    "IvyProtocol",
+    "MigratoryProtocol",
+    "SoftwareDirectoryEntry",
+    "StacheProtocol",
+    "check_dirnnb_coherence",
+    "check_register_consistency",
+    "check_stache_coherence",
+]

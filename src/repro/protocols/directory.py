@@ -1,0 +1,169 @@
+"""Directory entry structures.
+
+Two encodings:
+
+* :class:`HardwareDirectoryEntry` — DirNNB's full-map directory: no
+  structural limit on sharers (Dir\\ :sub:`N`\\ NB = N pointers, no
+  broadcast).
+* :class:`SoftwareDirectoryEntry` — Stache's software directory
+  (Section 3): 64 bits per block, laid out as two state bytes plus six
+  one-byte node pointers "to minimize bitfield operations".  When more
+  than six sharers exist, the first four pointer bytes become a 32-bit
+  sharer bit vector; for machines larger than 32 nodes they instead hold
+  a pointer to an auxiliary structure.  The class models those
+  representation changes faithfully (and reports which one is active) so
+  the encoding's capacity behaviour can be tested, while exposing a plain
+  sharer-set API to the protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+
+class DirectoryState(enum.Enum):
+    """Stable block states as seen by the home directory."""
+
+    HOME = "home"                # no remote copies; home may read/write
+    SHARED = "shared"            # >=1 read-only copies (home readable)
+    EXCLUSIVE = "exclusive"      # one remote owner holds it read-write
+    # Transient states: a transaction is in flight for this block.
+    PENDING_WRITEBACK = "pending-writeback"
+    PENDING_INVALIDATE = "pending-invalidate"
+
+    @property
+    def is_transient(self) -> bool:
+        return self in (
+            DirectoryState.PENDING_WRITEBACK,
+            DirectoryState.PENDING_INVALIDATE,
+        )
+
+
+class HardwareDirectoryEntry:
+    """Full-map entry: DirNNB's per-block directory state."""
+
+    __slots__ = ("state", "owner", "sharers", "pending", "acks_outstanding")
+
+    def __init__(self) -> None:
+        self.state = DirectoryState.HOME
+        self.owner: int | None = None
+        self.sharers: set[int] = set()
+        #: Requests that arrived while the entry was transient.
+        self.pending: deque = deque()
+        self.acks_outstanding = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"HardwareDirectoryEntry({self.state.value}, owner={self.owner}, "
+            f"sharers={sorted(self.sharers)})"
+        )
+
+
+POINTER_SLOTS = 6
+BITVECTOR_LIMIT = 32
+
+
+class SoftwareDirectoryEntry:
+    """The 64-bit LimitLESS-style software entry Stache allocates per block."""
+
+    __slots__ = (
+        "nodes",
+        "state",
+        "owner",
+        "pending",
+        "acks_outstanding",
+        "_pointers",
+        "_bitvector",
+        "_aux",
+    )
+
+    def __init__(self, nodes: int):
+        self.nodes = nodes
+        self.state = DirectoryState.HOME
+        self.owner: int | None = None
+        self.pending: deque = deque()
+        self.acks_outstanding = 0
+        self._pointers: list[int] = []
+        self._bitvector: int | None = None
+        self._aux: set[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Representation management
+    # ------------------------------------------------------------------
+    @property
+    def representation(self) -> str:
+        if self._aux is not None:
+            return "auxiliary"
+        if self._bitvector is not None:
+            return "bitvector"
+        return "pointers"
+
+    def _overflow(self) -> None:
+        """Pointer slots exhausted: switch to bit vector or aux structure."""
+        current = set(self._pointers)
+        self._pointers = []
+        if self.nodes <= BITVECTOR_LIMIT:
+            self._bitvector = 0
+            for node in current:
+                self._bitvector |= 1 << node
+        else:
+            self._aux = current
+
+    # ------------------------------------------------------------------
+    # Sharer-set API
+    # ------------------------------------------------------------------
+    def add_sharer(self, node: int) -> None:
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node {node} out of range")
+        if self._aux is not None:
+            self._aux.add(node)
+            return
+        if self._bitvector is not None:
+            self._bitvector |= 1 << node
+            return
+        if node in self._pointers:
+            return
+        if len(self._pointers) >= POINTER_SLOTS:
+            self._overflow()
+            self.add_sharer(node)
+            return
+        self._pointers.append(node)
+
+    def remove_sharer(self, node: int) -> None:
+        if self._aux is not None:
+            self._aux.discard(node)
+        elif self._bitvector is not None:
+            self._bitvector &= ~(1 << node)
+        elif node in self._pointers:
+            self._pointers.remove(node)
+
+    def sharers(self) -> set[int]:
+        if self._aux is not None:
+            return set(self._aux)
+        if self._bitvector is not None:
+            return {
+                node for node in range(self.nodes)
+                if self._bitvector & (1 << node)
+            }
+        return set(self._pointers)
+
+    def clear_sharers(self) -> None:
+        """All copies invalidated; fall back to the compact representation."""
+        self._pointers = []
+        self._bitvector = None
+        self._aux = None
+
+    @property
+    def sharer_count(self) -> int:
+        if self._aux is not None:
+            return len(self._aux)
+        if self._bitvector is not None:
+            return bin(self._bitvector).count("1")
+        return len(self._pointers)
+
+    def __repr__(self) -> str:
+        return (
+            f"SoftwareDirectoryEntry({self.state.value}, owner={self.owner}, "
+            f"{self.representation}, sharers={sorted(self.sharers())})"
+        )

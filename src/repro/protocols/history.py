@@ -1,0 +1,126 @@
+"""Access-history recording and register-consistency checking.
+
+When a machine's ``history`` attribute is set to an :class:`AccessHistory`,
+every CPU access records its node, address, kind, value, and its start and
+completion cycle.  :func:`check_register_consistency` then verifies
+**per-location linearizability** — the correctness condition a coherent
+memory system owes every address:
+
+* a read that returns the initial value is legal only if no write to the
+  address completed strictly before the read began;
+* a read that returns a written value ``v`` (from write ``w``) is legal
+  only if ``w`` began before the read ended, and no *other* write both
+  started after ``w`` ended and completed before the read began (such a
+  write would have overwritten ``v`` in every linearization).
+
+This machinery exists for the test suite (property tests run random
+concurrent programs through both protocols and assert an empty violation
+list) but is part of the public API: protocol authors can wrap their own
+simulations with it as an oracle.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One completed CPU access."""
+
+    node: int
+    addr: int
+    is_write: bool
+    value: Any
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class ConsistencyViolation:
+    """A read no linearization of the writes can explain."""
+
+    read: AccessRecord
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"node {self.read.node} read {self.read.value!r} from "
+            f"{self.read.addr:#x} during [{self.read.start}, "
+            f"{self.read.end}]: {self.reason}"
+        )
+
+
+class AccessHistory:
+    """Accumulates access records during a simulation."""
+
+    def __init__(self) -> None:
+        self._records: list[AccessRecord] = []
+
+    def record(self, node: int, addr: int, is_write: bool, value: Any,
+               start: float, end: float) -> None:
+        self._records.append(
+            AccessRecord(node, addr, is_write, value, start, end)
+        )
+
+    @property
+    def records(self) -> list[AccessRecord]:
+        return list(self._records)
+
+    def by_address(self) -> dict[int, list[AccessRecord]]:
+        grouped: dict[int, list[AccessRecord]] = defaultdict(list)
+        for record in self._records:
+            grouped[record.addr].append(record)
+        return grouped
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def check_register_consistency(history: AccessHistory,
+                               initial: Any = 0) -> list[ConsistencyViolation]:
+    """Check every read against per-location linearizability.
+
+    Returns the list of violations (empty = consistent).
+    """
+    violations: list[ConsistencyViolation] = []
+    for addr, records in history.by_address().items():
+        writes = [r for r in records if r.is_write]
+        reads = [r for r in records if not r.is_write]
+        for read in reads:
+            violation = _check_read(read, writes, initial)
+            if violation is not None:
+                violations.append(violation)
+    return violations
+
+
+def _check_read(read: AccessRecord, writes: list[AccessRecord],
+                initial: Any) -> ConsistencyViolation | None:
+    if read.value == initial and not any(w.end < read.start for w in writes):
+        return None  # the initial value is still observable
+
+    sources = [w for w in writes if w.value == read.value]
+    if read.value != initial and not sources:
+        return ConsistencyViolation(
+            read, "value was never written to this address"
+        )
+
+    candidates = sources if read.value != initial else []
+    for write in candidates:
+        if write.start > read.end:
+            continue  # this write began after the read finished
+        overwritten = any(
+            other is not write
+            and other.start > write.end
+            and other.end < read.start
+            for other in writes
+        )
+        if not overwritten:
+            return None  # a legal linearization exists through this write
+    return ConsistencyViolation(
+        read,
+        "every matching write is either after the read or overwritten "
+        "by a later write that completed before the read began",
+    )

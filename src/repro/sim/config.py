@@ -1,0 +1,281 @@
+"""Machine and simulation configuration.
+
+Defaults reproduce the paper's Table 2 ("Simulation parameters") exactly:
+
+====================  =========================================
+CPU cache             4-way assoc., random replacement
+Block size            32 bytes
+CPU TLB               64 entries, fully assoc., FIFO replacement
+Page size             4 Kbytes
+Local cache miss      29 cycles
+Local writeback       0 cycles (perfect write buffer)
+TLB miss              25 cycles
+Network latency       11 cycles
+Barrier latency       11 cycles
+====================  =========================================
+
+DirNNB-only and Typhoon-only parameters follow the corresponding Table 2
+sections.  The NP handler instruction counts come from Section 6's measured
+path lengths ("the NP executes only 14 instructions to request a missing
+block, 30 instructions for the remote node to respond with the data, and 20
+instructions when the data arrives"); counts for paths the paper does not
+quote are calibrated estimates documented per field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class CacheConfig:
+    """A set-associative cache (the CPU's hardware cache)."""
+
+    size_bytes: int = 256 * 1024
+    associativity: int = 4
+    block_size: int = 32
+    replacement: str = "random"
+
+    @property
+    def num_blocks(self) -> int:
+        return self.size_bytes // self.block_size
+
+    @property
+    def num_sets(self) -> int:
+        return max(1, self.num_blocks // self.associativity)
+
+    def validate(self) -> None:
+        if self.size_bytes % self.block_size:
+            raise ValueError("cache size must be a multiple of the block size")
+        if self.block_size & (self.block_size - 1):
+            raise ValueError("block size must be a power of two")
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        if self.replacement not in ("random", "lru", "fifo"):
+            raise ValueError(f"unknown replacement policy {self.replacement!r}")
+
+
+@dataclass
+class TlbConfig:
+    """Fully-associative TLB with FIFO replacement (Table 2)."""
+
+    entries: int = 64
+    replacement: str = "fifo"
+    miss_cycles: int = 25
+
+
+@dataclass
+class NetworkConfig:
+    """Point-to-point interconnect parameters (Table 2).
+
+    ``topology`` selects the hop model: ``"ideal"`` charges the flat
+    ``latency`` for every packet (the paper's model); ``"mesh2d"`` charges
+    per-hop latency on a 2-D mesh (an ablation, Section 5's network is
+    CM-5-like but the paper models only a constant).
+    """
+
+    latency: int = 11
+    barrier_latency: int = 11
+    topology: str = "ideal"
+    mesh_per_hop: int = 2
+    max_payload_words: int = 20  # Typhoon packets: twenty 32-bit words.
+    # The paper's simulations "do not accurately model network ...
+    # contention"; neither do we by default.  True serializes each
+    # (src, dst, vnet) channel at one word per cycle (an ablation).
+    model_contention: bool = False
+
+
+@dataclass
+class DirNNBCosts:
+    """Cost model for the all-hardware DirNNB system (Table 2, DirNNB Only).
+
+    Remote cache miss: ``23 + (5..16 if replacement) + network/directory
+    cost + 34`` cycles.  Remote cache invalidate: ``8 + (5..16 if
+    replacement)``.  Directory op: ``16 + 11 if block received + 5 per
+    message sent + 11 if block sent``.
+    """
+
+    remote_miss_issue: int = 23
+    remote_miss_finish: int = 34
+    replacement_shared: int = 5
+    replacement_exclusive: int = 16
+    invalidate_base: int = 8
+    directory_op: int = 16
+    directory_block_received: int = 11
+    directory_per_message: int = 5
+    directory_block_sent: int = 11
+
+
+@dataclass
+class TyphoonCosts:
+    """Cost model for the Typhoon NP (Table 2, Typhoon Only + Section 6).
+
+    The NP executes one cycle per instruction (paper: "we approximated
+    ... by charging a single cycle for each instruction").  The three
+    quoted best-case handler path lengths are taken verbatim; the
+    remaining handler costs are calibrated estimates scaled from those
+    (each documented below), kept deliberately on the conservative
+    (larger) side so Typhoon is not flattered.
+    """
+
+    cycles_per_instruction: int = 1
+    np_tlb_entries: int = 64
+    np_tlb_miss: int = 25
+    rtlb_entries: int = 64
+    rtlb_miss: int = 25
+    np_dcache_bytes: int = 16 * 1024
+    np_icache_bytes: int = 8 * 1024
+
+    # Section 5.1's deadlock-avoidance plumbing: each virtual network's
+    # send queue holds this many packets; further sends are transparently
+    # redirected to the (unbounded) user overflow buffer, which software
+    # drains as queue space frees up.  Guarantees any handler runs to
+    # completion without waiting for queue space.
+    send_queue_depth: int = 16
+    # Cycles to drain one overflowed packet back into the send queue.
+    overflow_drain_cycles: int = 4
+
+    # Paper-quoted best-case path lengths (Section 6).
+    miss_request_instructions: int = 14
+    home_response_instructions: int = 30
+    data_arrival_instructions: int = 20
+
+    # Calibrated estimates for paths the paper does not quote:
+    # an invalidation received at a caching node (tag flip + ack send) is
+    # comparable to the miss-request path.
+    invalidate_handler_instructions: int = 15
+    # an invalidation-ack received at home (directory pointer clear,
+    # possibly forwarding queued data) is comparable to a home response.
+    ack_handler_instructions: int = 25
+    # writing back a dirty block to home on replacement: pack block + send.
+    writeback_handler_instructions: int = 25
+    # the Stache user-level page fault handler: allocate + map + init tags.
+    page_fault_instructions: int = 250
+    # page replacement: per-block invalidate sweep is charged separately;
+    # this is the fixed remap cost.
+    page_replace_instructions: int = 150
+    # marginal cost of composing and launching one additional message from
+    # inside a handler (e.g. each extra invalidation a home handler sends);
+    # matches DirNNB's 5-cycles-per-message directory charge.
+    per_message_instructions: int = 5
+    # detecting a block access fault on the bus and dispatching the handler
+    # (hardware-assisted dispatch; RTLB lookup + BAF buffer fill).
+    baf_dispatch_cycles: int = 5
+    # bus round trip for the NP to touch local DRAM on behalf of a handler
+    # (force-read/force-write of a 32-byte block over the MBus).
+    np_block_copy_cycles: int = 10
+
+
+@dataclass
+class BlizzardCosts:
+    """Cost model for the all-software Tempest backend (no NP).
+
+    Models the "native version for the CM-5" direction of Section 2: a
+    commodity message-passing node where fine-grain access control is
+    synthesized in software (Blizzard-style) and protocol handlers run on
+    the primary CPU at poll points.
+
+    Defaults follow the Blizzard-E approach: read checks ride on the
+    ECC/sentinel trick (free on the hit path), write checks cost a few
+    instructions of inserted code, and the network is polled at every
+    shared-memory reference.
+    """
+
+    #: Inserted-code cost per checked load (0 = the ECC/sentinel trick).
+    check_read_cycles: int = 0
+    #: Inserted-code cost per checked store (explicit table lookup).
+    check_write_cycles: int = 3
+    #: Cost of one empty network poll (inserted at each shared access).
+    poll_cycles: int = 1
+    #: Extra dispatch cost when a poll finds a message (no hardware assist).
+    software_dispatch_cycles: int = 20
+    #: The CPU cannot overlap handler work with computation: every handler
+    #: instruction is charged to the computation thread at this CPI.
+    cycles_per_instruction: int = 1
+
+
+@dataclass
+class MachineConfig:
+    """Complete description of one simulated target machine."""
+
+    nodes: int = 32
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    tlb: TlbConfig = field(default_factory=TlbConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    dirnnb: DirNNBCosts = field(default_factory=DirNNBCosts)
+    typhoon: TyphoonCosts = field(default_factory=TyphoonCosts)
+    blizzard: BlizzardCosts = field(default_factory=BlizzardCosts)
+
+    block_size: int = 32
+    page_size: int = 4096
+    local_miss_cycles: int = 29
+    local_writeback_cycles: int = 0  # perfect write buffer (Table 2)
+    cache_hit_cycles: int = 1
+
+    # How many pages of local DRAM each node may devote to stached remote
+    # data before FIFO page replacement kicks in.  The paper lets the
+    # application choose; 4096 pages (16 MB) is effectively unbounded for
+    # the scaled workloads and can be lowered to exercise replacement.
+    stache_page_budget: int = 4096
+
+    # DirNNB page placement: "round_robin" (IVY-style fixed distributed
+    # manager, the paper's default) or "first_touch" (the Stenstrom et al.
+    # improvement discussed in Section 6).
+    page_placement: str = "round_robin"
+
+    seed: int = 42
+
+    def validate(self) -> None:
+        self.cache.validate()
+        if self.nodes < 1:
+            raise ValueError("need at least one node")
+        if self.page_size % self.block_size:
+            raise ValueError("page size must be a multiple of the block size")
+        if self.cache.block_size != self.block_size:
+            raise ValueError("cache block size must match machine block size")
+        if self.page_placement not in ("round_robin", "first_touch"):
+            raise ValueError(f"unknown page placement {self.page_placement!r}")
+
+    @property
+    def blocks_per_page(self) -> int:
+        return self.page_size // self.block_size
+
+    def with_cache_size(self, size_bytes: int) -> "MachineConfig":
+        """A copy of this configuration with a different CPU cache size."""
+        return replace(self, cache=replace(self.cache, size_bytes=size_bytes))
+
+
+# Paper cache sizes swept in Figure 3, smallest to largest.
+FIGURE3_CACHE_SIZES = (4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024)
+
+
+@dataclass(frozen=True)
+class ScaleModel:
+    """Maps the paper's data-set / cache pairs to CPython-feasible sizes.
+
+    Figure 3's independent variable is really the *ratio* of an
+    application's working set to the CPU cache size: the small data sets
+    were chosen to be "scaled for a 4 Kbyte cache" and to fit entirely in
+    the larger caches.  Scaling the data set and the cache by the same
+    factor preserves that ratio, which is the paper's own methodological
+    argument (Gupta et al. [13]).
+
+    ``scale`` multiplies data-set sizes; cache sizes shrink by the same
+    factor (never below ``min_cache_bytes`` so associativity structure
+    survives).
+    """
+
+    scale: float = 1.0
+    min_cache_bytes: int = 512
+    block_size: int = 32
+
+    def cache_bytes(self, paper_bytes: int) -> int:
+        scaled = int(paper_bytes * self.scale)
+        # Round down to a power of two so the set count stays a power of two.
+        size = self.min_cache_bytes
+        while size * 2 <= max(scaled, self.min_cache_bytes):
+            size *= 2
+        return size
+
+    def count(self, paper_count: int, minimum: int = 1) -> int:
+        return max(minimum, int(round(paper_count * self.scale)))

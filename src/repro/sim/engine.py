@@ -1,0 +1,142 @@
+"""The discrete-event engine: a simulated clock plus an event queue.
+
+Time is measured in processor cycles (integers or floats; the models in
+this package only ever schedule integral delays, matching the paper's
+cycle-count cost model in Table 2).
+
+Events scheduled for the same cycle fire in the order they were scheduled
+(FIFO tie-break via a monotone sequence number), which makes every
+simulation deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural misuse of the engine (e.g. scheduling in the past)."""
+
+
+class _Event:
+    """A scheduled callback.  Cancellation is a flag check at fire time."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+
+class Engine:
+    """Event queue and simulated clock.
+
+    Usage::
+
+        engine = Engine()
+        engine.schedule(10, print, "fires at cycle 10")
+        engine.run()
+        assert engine.now == 10
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._seq = 0
+        self.now: float = 0
+        self._events_fired = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> _Event:
+        """Schedule ``fn(*args)`` to fire ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles in the past")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> _Event:
+        """Schedule ``fn(*args)`` to fire at absolute cycle ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at cycle {time}; clock is already at {self.now}"
+            )
+        event = _Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_fired += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the queue drains, ``until`` cycles pass, or ``max_events`` fire.
+
+        ``until`` is an absolute cycle count; the clock is left at
+        ``min(until, last event time)``.  ``max_events`` is a safety valve
+        for tests that want to bound runaway simulations.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self.now = until
+                    return
+                if max_events is not None and fired >= max_events:
+                    return
+                heapq.heappop(self._queue)
+                self.now = head.time
+                self._events_fired += 1
+                head.fn(*head.args)
+                fired += 1
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled husks)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    def __repr__(self) -> str:
+        return f"Engine(now={self.now}, pending={self.pending})"

@@ -1,0 +1,183 @@
+"""Generator-based simulated processes and futures.
+
+A *process* is a Python generator driven by the engine.  The generator
+yields one of:
+
+* a non-negative number — advance this process's part of simulated time by
+  that many cycles (a compute charge or a fixed hardware latency);
+* a :class:`Future` — suspend until the future resolves; the resolved value
+  is sent back into the generator;
+* another generator — run it as a sub-routine inline (same process, shared
+  suspension), its return value is sent back.
+
+This is the mechanism by which application kernels "execute": the CPU model
+in :mod:`repro.typhoon.node` wraps an application generator in a process,
+services cache hits inline, and yields futures for misses so the protocol
+machinery can run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class ProcessKilled(Exception):
+    """Injected into a generator when its process is killed."""
+
+
+class Future:
+    """A one-shot value that a process can block on.
+
+    Futures are the only inter-process synchronization primitive in the
+    kernel; barriers, message replies, and thread resume are all built on
+    them.
+    """
+
+    __slots__ = ("engine", "_done", "_value", "_callbacks")
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._done = False
+        self._value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError("future not resolved yet")
+        return self._value
+
+    def resolve(self, value: Any = None) -> None:
+        """Resolve the future; callbacks fire as zero-delay events."""
+        if self._done:
+            raise SimulationError("future resolved twice")
+        self._done = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.engine.schedule(0, callback, value)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Run ``callback(value)`` when resolved (immediately if already done)."""
+        if self._done:
+            self.engine.schedule(0, callback, self._value)
+        else:
+            self._callbacks.append(callback)
+
+    @classmethod
+    def resolved(cls, engine: Engine, value: Any = None) -> "Future":
+        future = cls(engine)
+        future.resolve(value)
+        return future
+
+
+def all_of(engine: Engine, futures: Iterable[Future]) -> Future:
+    """A future that resolves (with a list of values) when all inputs have."""
+    futures = list(futures)
+    result = Future(engine)
+    if not futures:
+        result.resolve([])
+        return result
+    remaining = [len(futures)]
+    values: list[Any] = [None] * len(futures)
+
+    def make_callback(index: int) -> Callable[[Any], None]:
+        def callback(value: Any) -> None:
+            values[index] = value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                result.resolve(values)
+
+        return callback
+
+    for index, future in enumerate(futures):
+        future.add_callback(make_callback(index))
+    return result
+
+
+class Process:
+    """Drives a generator through simulated time.
+
+    The ``finished`` future resolves with the generator's return value.
+    An uncaught exception in the generator propagates out of the engine's
+    ``run`` call — silent failure would corrupt experiment results.
+    """
+
+    def __init__(self, engine: Engine, generator: Generator, name: str = "process"):
+        self.engine = engine
+        self.name = name
+        self.finished = Future(engine)
+        self._stack: list[Generator] = [generator]
+        self._killed = False
+        engine.schedule(0, self._advance, None)
+
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Terminate the process by throwing ProcessKilled into it."""
+        self._killed = True
+
+    @property
+    def alive(self) -> bool:
+        return not self.finished.done
+
+    # ------------------------------------------------------------------
+    def _advance(self, send_value: Any) -> None:
+        """Resume the generator stack and interpret what it yields next."""
+        while True:
+            if self.finished.done:
+                return
+            generator = self._stack[-1]
+            try:
+                if self._killed:
+                    yielded = generator.throw(ProcessKilled())
+                else:
+                    yielded = generator.send(send_value)
+            except StopIteration as stop:
+                self._stack.pop()
+                if self._stack:
+                    send_value = stop.value
+                    continue
+                self.finished.resolve(stop.value)
+                return
+            except ProcessKilled:
+                self._stack.pop()
+                if self._stack:
+                    # Propagate the kill up through nested sub-generators.
+                    continue
+                self.finished.resolve(None)
+                return
+
+            if isinstance(yielded, (int, float)):
+                if yielded < 0:
+                    raise SimulationError(
+                        f"{self.name} yielded negative delay {yielded}"
+                    )
+                if yielded == 0:
+                    send_value = None
+                    continue
+                self.engine.schedule(yielded, self._advance, None)
+                return
+            if isinstance(yielded, Future):
+                if yielded.done:
+                    send_value = yielded.value
+                    continue
+                yielded.add_callback(self._advance)
+                return
+            if hasattr(yielded, "send") and hasattr(yielded, "throw"):
+                self._stack.append(yielded)
+                send_value = None
+                continue
+            raise SimulationError(
+                f"{self.name} yielded unsupported value {yielded!r}; "
+                "expected a delay, a Future, or a sub-generator"
+            )
+
+    def __repr__(self) -> str:
+        state = "done" if self.finished.done else "running"
+        return f"Process({self.name}, {state})"

@@ -1,0 +1,123 @@
+"""Statistics collection.
+
+Every model component shares one :class:`Stats` registry per simulation.
+Counters are named hierarchically with dotted strings
+(``"node3.cache.misses"``); sums, maxima and simple histograms are
+supported.  The harness flattens these into the rows that reproduce the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+
+class Distribution:
+    """Streaming min/max/mean over added samples."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return f"Distribution(count={self.count}, mean={self.mean:.3g})"
+
+
+class Stats:
+    """A hierarchical counter registry."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = defaultdict(float)
+        self._distributions: dict[str, Distribution] = {}
+
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: float = 1) -> None:
+        self._counters[name] += amount
+
+    def set_max(self, name: str, value: float) -> None:
+        if value > self._counters.get(name, float("-inf")):
+            self._counters[name] = value
+
+    def sample(self, name: str, value: float) -> None:
+        dist = self._distributions.get(name)
+        if dist is None:
+            dist = self._distributions[name] = Distribution()
+        dist.add(value)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str, default: float = 0) -> float:
+        return self._counters.get(name, default)
+
+    def distribution(self, name: str) -> Distribution:
+        dist = self._distributions.get(name)
+        if dist is None:
+            dist = self._distributions[name] = Distribution()
+        return dist
+
+    def counters(self, prefix: str = "") -> dict[str, float]:
+        """All counters whose name starts with ``prefix``."""
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(prefix)
+        }
+
+    def total(self, suffix: str) -> float:
+        """Sum of every counter whose name ends with ``suffix``.
+
+        Used to aggregate per-node counters, e.g.
+        ``stats.total(".cache.misses")``.
+        """
+        return sum(
+            value for name, value in self._counters.items() if name.endswith(suffix)
+        )
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "Stats") -> None:
+        for name, value in other._counters.items():
+            self._counters[name] += value
+        for name, dist in other._distributions.items():
+            mine = self.distribution(name)
+            mine.count += dist.count
+            mine.total += dist.total
+            mine.minimum = min(mine.minimum, dist.minimum)
+            mine.maximum = max(mine.maximum, dist.maximum)
+
+    def as_dict(self) -> dict[str, float]:
+        result = dict(self._counters)
+        for name, dist in self._distributions.items():
+            for key, value in dist.as_dict().items():
+                result[f"{name}.{key}"] = value
+        return result
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(sorted(self._counters.items()))
+
+    def __repr__(self) -> str:
+        return f"Stats({len(self._counters)} counters)"

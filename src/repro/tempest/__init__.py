@@ -1,0 +1,35 @@
+"""The Tempest interface (paper Section 2).
+
+Tempest is the paper's primary contribution: a *user-level* parallel
+machine interface of four mechanism families —
+
+1. low-overhead (active) messages,
+2. bulk node-to-node data transfer,
+3. virtual-memory management, and
+4. fine-grain access control —
+
+that are together sufficient to implement the full range of shared-memory
+semantics in user-level software.  Protocols in :mod:`repro.protocols`
+program against this interface only; the hardware behind it is supplied by
+a backend (Typhoon in :mod:`repro.typhoon`), which is exactly the
+portability argument the paper makes ("By abstracting from the
+implementation details, the Tempest interface provides portability between
+these different systems").
+"""
+
+from repro.tempest.interface import Tempest, TempestBackend
+from repro.tempest.messaging import HandlerRegistry, HandlerSpec
+from repro.tempest.threads import ComputationThread
+from repro.tempest.swbarrier import SoftwareBarrier
+from repro.tempest.sync import TempestLock, FetchAndOp
+
+__all__ = [
+    "ComputationThread",
+    "FetchAndOp",
+    "HandlerRegistry",
+    "HandlerSpec",
+    "SoftwareBarrier",
+    "Tempest",
+    "TempestBackend",
+    "TempestLock",
+]

@@ -1,0 +1,71 @@
+"""Active-message handler registration (paper Section 2.1).
+
+A Tempest message names a *handler* to run at the destination; the
+remainder of the message is the handler's arguments.  On Typhoon the first
+payload word is literally the handler PC; here handlers are named and
+dispatched through a per-node :class:`HandlerRegistry`.
+
+Each registration carries an **instruction count**: the cost the NP
+charges per invocation (one cycle per instruction, Section 6).  The
+paper's three measured path lengths live in
+:class:`repro.sim.config.TyphoonCosts`; protocol authors supply counts for
+their own handlers the same way they would by compiling them.
+
+Handlers execute atomically with respect to other handlers (Section 2.1:
+run-to-completion, non-preemptive), so protocol state needs no locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+class HandlerError(RuntimeError):
+    """Unknown handler name or duplicate registration."""
+
+
+@dataclass(frozen=True)
+class HandlerSpec:
+    """One registered handler: the code and its charged instruction count."""
+
+    name: str
+    fn: Callable[..., Any]
+    instructions: int
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0:
+            raise HandlerError(f"negative instruction count for {self.name}")
+
+
+class HandlerRegistry:
+    """Named handler table for one node (messages and block faults share it)."""
+
+    def __init__(self, node: int = 0):
+        self.node = node
+        self._handlers: dict[str, HandlerSpec] = {}
+
+    def register(self, name: str, fn: Callable[..., Any], instructions: int) -> HandlerSpec:
+        if name in self._handlers:
+            raise HandlerError(f"handler {name!r} already registered on node {self.node}")
+        spec = HandlerSpec(name=name, fn=fn, instructions=instructions)
+        self._handlers[name] = spec
+        return spec
+
+    def lookup(self, name: str) -> HandlerSpec:
+        spec = self._handlers.get(name)
+        if spec is None:
+            raise HandlerError(f"no handler {name!r} on node {self.node}")
+        return spec
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._handlers
+
+    def names(self) -> list[str]:
+        return sorted(self._handlers)
+
+    def __len__(self) -> int:
+        return len(self._handlers)
+
+    def __repr__(self) -> str:
+        return f"HandlerRegistry(node={self.node}, handlers={len(self)})"

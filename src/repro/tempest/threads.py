@@ -1,0 +1,56 @@
+"""Computation-thread suspension and resumption.
+
+Tempest's checked accesses suspend the faulting computation thread and a
+user-level handler later restarts it (Table 1's ``resume``).  On Typhoon
+the suspension is physical — the NP masks the CPU's bus request line —
+and ``resume`` unmasks it so the stalled transaction retries
+(Section 5.4).
+
+Each simulated node runs one computation thread (the paper's SPMD model:
+one address space and one primary computation thread per node; message
+handlers run *concurrently* on the NP, not by interrupting this thread).
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.process import Future
+
+
+class ComputationThread:
+    """Suspension point for one node's computation thread."""
+
+    def __init__(self, engine: Engine, node: int = 0):
+        self.engine = engine
+        self.node = node
+        self._suspension: Future | None = None
+        self.suspensions = 0
+        self.resumes = 0
+
+    @property
+    def suspended(self) -> bool:
+        return self._suspension is not None
+
+    def suspend(self) -> Future:
+        """Block the thread; returns the future the thread must wait on.
+
+        A thread cannot be suspended twice: there is one CPU per node and
+        it is already stalled.
+        """
+        if self._suspension is not None:
+            raise SimulationError(f"thread on node {self.node} already suspended")
+        self._suspension = Future(self.engine)
+        self.suspensions += 1
+        return self._suspension
+
+    def resume(self, value=None) -> None:
+        """Table 1 ``resume``: let the stalled access retry."""
+        if self._suspension is None:
+            raise SimulationError(f"thread on node {self.node} is not suspended")
+        suspension, self._suspension = self._suspension, None
+        self.resumes += 1
+        suspension.resolve(value)
+
+    def __repr__(self) -> str:
+        state = "suspended" if self.suspended else "running"
+        return f"ComputationThread(node={self.node}, {state})"

@@ -1,0 +1,24 @@
+"""The Typhoon hardware model (paper Section 5).
+
+Typhoon is the paper's proposed implementation of Tempest: commodity
+SPARC/MBus nodes plus one custom device per node, the **network interface
+processor (NP)** — a previous-generation integer core tightly coupled to
+the network interface, with a TLB, a reverse TLB (RTLB) holding per-block
+access tags, a block-access-fault (BAF) buffer, and a hardware-assisted
+dispatch loop that runs user-level handlers to completion.
+
+The model charges the paper's costs: one cycle per NP instruction, the
+Table 2 cache/TLB/RTLB penalties, and the Section 6 handler path lengths.
+"""
+
+from repro.typhoon.np import NetworkProcessor
+from repro.typhoon.rtlb import ReverseTlb
+from repro.typhoon.node import TyphoonNode
+from repro.typhoon.system import TyphoonMachine
+
+__all__ = [
+    "NetworkProcessor",
+    "ReverseTlb",
+    "TyphoonMachine",
+    "TyphoonNode",
+]

@@ -1,0 +1,197 @@
+"""One Typhoon node: CPU, caches, TLB, tagged memory, and NP (Figure 1).
+
+The node implements the :class:`~repro.tempest.interface.TempestBackend`
+protocol — it is the hardware under the Tempest facade.
+
+The CPU access path models the MBus semantics of Section 5.4:
+
+* a hardware-cache hit needs no NP intervention and completes in a cycle;
+* a miss becomes a bus transaction the NP monitors.  If the block's tag
+  permits the access, the memory controller responds (Table 2's 29-cycle
+  local miss); a read of a ReadOnly block has the "shared" line asserted
+  so the CPU's copy is not owned;
+* otherwise the transaction is a **block access fault**: the NP inhibits
+  memory, nacks the transaction, masks the CPU's bus request (the thread
+  suspends), and captures the fault in the BAF buffer for user-level
+  handling.  ``resume`` unmasks the request line and the access retries.
+
+Accesses to unmapped shared pages take the coarse-grain path: the
+computation thread runs the protocol's user-level page-fault handler
+(Section 2.3) and retries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+from repro.memory.address import AddressLayout
+from repro.memory.cache import Cache, LineState
+from repro.memory.data import MemoryImage
+from repro.memory.page_table import PageTable
+from repro.memory.tags import Tag, TagStore
+from repro.memory.tlb import Tlb
+from repro.network.message import Message
+from repro.sim.engine import SimulationError
+from repro.tempest.interface import Tempest
+from repro.tempest.messaging import HandlerRegistry
+from repro.tempest.threads import ComputationThread
+from repro.typhoon.np import NetworkProcessor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.typhoon.system import TyphoonMachine
+
+#: fn(tempest, addr, is_write) -> extra cycles or None
+PageFaultHandler = Callable[[Tempest, int, bool], int | None]
+
+
+class TyphoonNode:
+    """CPU + L1 + TLB + NP + DRAM, assembled per Figure 1."""
+
+    def __init__(self, node_id: int, machine: "TyphoonMachine"):
+        self.node_id = node_id
+        self.machine = machine
+        self.engine = machine.engine
+        self.stats = machine.stats
+        self.config = machine.config
+        self.layout: AddressLayout = machine.layout
+        self.heap = machine.heap
+        self._prefix = f"node{node_id}"
+
+        self.tags = TagStore(self.layout, node_id)
+        self.page_table = PageTable(self.layout, self.tags, node_id)
+        self.image = MemoryImage(self.layout, node_id)
+        self.cache = Cache(
+            machine.config.cache,
+            machine.rng.stream(f"{self._prefix}.cache"),
+            name=f"{self._prefix}.cache",
+        )
+        self.cpu_tlb = Tlb(machine.config.tlb, name=f"{self._prefix}.tlb")
+        self.thread = ComputationThread(self.engine, node_id)
+        self.registry = HandlerRegistry(node_id)
+        self.np = NetworkProcessor(self, machine.config.typhoon)
+        self.tempest = Tempest(self)
+        self.page_fault_handler: PageFaultHandler | None = None
+        #: Blocks written since this node last gained them (the M-vs-E
+        #: distinction an ownership bus provides); cleared on downgrade
+        #: or invalidation.  Custom protocols use it (e.g. migratory
+        #: detection probes).
+        self.written_blocks: set[int] = set()
+
+        machine.interconnect.attach(node_id, self.np.enqueue_message)
+
+    # ------------------------------------------------------------------
+    # TempestBackend surface
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.machine.num_nodes
+
+    def send_message(self, message: Message) -> None:
+        self.stats.incr(f"{self._prefix}.np.messages_sent")
+        self.np.send(message)
+
+    def invalidate_cpu_copy(self, block_addr: int) -> None:
+        self.cache.invalidate(block_addr)
+        self.written_blocks.discard(block_addr)
+
+    def downgrade_cpu_copy(self, block_addr: int) -> None:
+        self.cache.downgrade(block_addr)
+        self.written_blocks.discard(block_addr)
+
+    def shoot_down_page(self, vaddr: int) -> None:
+        """TLB shoot-down after unmap/remap: CPU TLB and NP reverse TLB."""
+        self.cpu_tlb.evict(self.layout.page_number(vaddr))
+        self.np.rtlb.shoot_down(vaddr)
+
+    def np_charge(self, cycles: int) -> None:
+        self.np.charge(cycles)
+
+    # ------------------------------------------------------------------
+    # Protocol wiring
+    # ------------------------------------------------------------------
+    def set_page_fault_handler(self, handler: PageFaultHandler) -> None:
+        self.page_fault_handler = handler
+
+    # ------------------------------------------------------------------
+    # CPU access path
+    # ------------------------------------------------------------------
+    def access(self, addr: int, is_write: bool, value: Any = None) -> Generator:
+        """One CPU load or store; a generator the worker drives.
+
+        Returns the loaded value (reads) or None (writes).
+        """
+        self.stats.incr(f"{self._prefix}.cpu.refs")
+        start = self.engine.now
+        if not self.cpu_tlb.access(self.layout.page_number(addr)):
+            self.stats.incr(f"{self._prefix}.cpu.tlb_misses")
+            yield self.config.tlb.miss_cycles
+
+        shared = AddressLayout.is_shared(addr)
+        block = self.layout.block_of(addr)
+        while True:
+            if shared and not self.page_table.is_mapped(addr):
+                yield from self._handle_page_fault(addr, is_write)
+                continue
+            if self.cache.access(block, is_write):
+                yield self.config.cache_hit_cycles
+                return self._complete(addr, is_write, value, start)
+            # Miss: a bus transaction, monitored by the NP for shared pages.
+            if shared:
+                fault = self.tags.check(addr, is_write)
+                if fault is not None:
+                    self.stats.incr(f"{self._prefix}.cpu.block_faults")
+                    suspension = self.thread.suspend()
+                    self.np.enqueue_fault(fault)
+                    yield suspension
+                    continue  # retry the whole access
+            yield self.config.local_miss_cycles
+            self.stats.incr(f"{self._prefix}.cpu.local_misses")
+            if shared and self.tags.check(addr, is_write) is not None:
+                # The NP invalidated (or downgraded) the block while our
+                # fill was on the bus: the transaction ends "relinquish
+                # and retry" instead of installing a stale line.  Loop;
+                # the retried access takes the fault path properly.
+                self.stats.incr(f"{self._prefix}.cpu.fills_killed")
+                continue
+            if shared and self.tags.read_tag(addr) is Tag.READ_ONLY:
+                state = LineState.SHARED  # NP asserts the "shared" line
+            else:
+                state = LineState.EXCLUSIVE
+            self.cache.insert(block, state)
+            # Victim writeback to local DRAM costs 0 (perfect write buffer,
+            # Table 2); the image already holds every store, so no data
+            # movement is needed either.
+            return self._complete(addr, is_write, value, start)
+
+    def _complete(self, addr: int, is_write: bool, value: Any,
+                  start: float) -> Any:
+        if is_write:
+            self.image.write(addr, value)
+            if AddressLayout.is_shared(addr):
+                self.written_blocks.add(self.layout.block_of(addr))
+            result = None
+        else:
+            result = value = self.image.read(addr)
+        self.stats.incr(f"{self._prefix}.cpu.access_cycles",
+                        self.engine.now - start)
+        if self.machine.history is not None:
+            self.machine.history.record(
+                self.node_id, addr, is_write, value, start, self.engine.now
+            )
+        return result
+
+    def _handle_page_fault(self, addr: int, is_write: bool) -> Generator:
+        self.stats.incr(f"{self._prefix}.cpu.page_faults")
+        if self.page_fault_handler is None:
+            raise SimulationError(
+                f"page fault at {addr:#x} on node {self.node_id} "
+                "with no user-level handler installed"
+            )
+        # The user-level page fault handler runs on the primary CPU.
+        yield self.config.typhoon.page_fault_instructions
+        extra = self.page_fault_handler(self.tempest, addr, is_write)
+        if extra:
+            yield extra
+
+    def __repr__(self) -> str:
+        return f"TyphoonNode({self.node_id})"

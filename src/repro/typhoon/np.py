@@ -1,0 +1,232 @@
+"""The network interface processor (NP), paper Sections 5.1 and 5.4.
+
+The NP is a serial, run-to-completion processor.  Its hardware-assisted
+dispatch loop selects the next piece of work from three sources:
+
+1. the **response** virtual network's receive queue (highest priority, so
+   request handlers can never starve response handlers — the deadlock-
+   avoidance discipline of Section 5.1),
+2. the **block access fault (BAF) buffer** — faults captured from the MBus,
+3. the **request** virtual network's receive queue (lowest priority).
+
+Each dispatched handler is charged its registered instruction count (one
+cycle per instruction, Section 6) plus any TLB/RTLB miss penalties its
+dispatch incurred; its externally visible effects (sends, tag updates,
+``resume``) take place when that charge has elapsed.  Handlers may extend
+their own charge for data-dependent work via
+:meth:`~repro.tempest.interface.Tempest.charge`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.memory.tags import AccessFault
+from repro.memory.tlb import Tlb
+from repro.network.message import Message, VirtualNetwork
+from repro.sim.config import TlbConfig, TyphoonCosts
+from repro.sim.engine import SimulationError
+from repro.typhoon.rtlb import ReverseTlb
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.typhoon.node import TyphoonNode
+
+
+class DispatchError(SimulationError):
+    """No fault handler registered for a (mode, access, tag) combination."""
+
+
+class NetworkProcessor:
+    """One node's NP: queues, dispatch loop, and cost accounting."""
+
+    def __init__(self, node: "TyphoonNode", costs: TyphoonCosts):
+        self.node = node
+        self.costs = costs
+        self.engine = node.engine
+        self.stats = node.stats
+        self._prefix = f"node{node.node_id}.np"
+
+        self._response_queue: deque[Message] = deque()
+        self._request_queue: deque[Message] = deque()
+        self._baf_buffer: deque[AccessFault] = deque()
+        self._busy = False
+        self._extra_charge = 0
+
+        self.np_tlb = Tlb(
+            TlbConfig(entries=costs.np_tlb_entries, miss_cycles=costs.np_tlb_miss),
+            name="np_tlb",
+        )
+        self.rtlb = ReverseTlb(costs.rtlb_entries, costs.rtlb_miss, node.layout)
+
+        # (page mode, is_write) -> handler name.  Section 5.4: the page
+        # mode, access type and tag select the fault handler PC; the tag
+        # is implied (only faulting combinations dispatch), so the key is
+        # (mode, is_write).
+        self._fault_dispatch: dict[tuple[int, bool], str] = {}
+
+        # Section 5.1 send-side plumbing: finite per-vnet send queues with
+        # a transparent overflow buffer so handlers never block on space.
+        self._in_flight: dict[int, int] = {0: 0, 1: 0}
+        self._overflow: deque[Message] = deque()
+
+    # ------------------------------------------------------------------
+    # Sending (finite send queues + overflow buffer, Section 5.1)
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Inject a packet, or park it in the overflow buffer if the
+        virtual network's send queue is full.
+
+        "If a send queue fills, the hardware will redirect further stores
+        to this buffer transparently.  This guarantees that any handler,
+        once started, can run to completion without waiting for a send
+        queue to empty.  The user buffer is drained into the network by
+        software as queue space becomes available."
+        """
+        vnet = int(message.vnet)
+        if self._in_flight[vnet] >= self.costs.send_queue_depth:
+            self._overflow.append(message)
+            self.stats.incr(f"{self._prefix}.sends_overflowed")
+            self.stats.set_max(
+                f"{self._prefix}.overflow_peak", len(self._overflow)
+            )
+            return
+        self._inject(message)
+
+    def _inject(self, message: Message) -> None:
+        self._in_flight[int(message.vnet)] += 1
+        self._launch(message)
+
+    def _launch(self, message: Message) -> None:
+        message.on_delivered = self._on_delivered
+        self.node.machine.interconnect.send(message)
+
+    def _on_delivered(self, message: Message) -> None:
+        """Credit return: queue space freed; drain the overflow buffer."""
+        self._in_flight[int(message.vnet)] -= 1
+        if not self._overflow:
+            return
+        for index, waiting in enumerate(self._overflow):
+            vnet = int(waiting.vnet)
+            if self._in_flight[vnet] < self.costs.send_queue_depth:
+                del self._overflow[index]
+                # Reserve the slot immediately so a concurrent credit
+                # cannot oversubscribe it; the software drain takes a few
+                # cycles to move the packet into the queue.
+                self._in_flight[vnet] += 1
+                self.engine.schedule(
+                    self.costs.overflow_drain_cycles, self._launch, waiting
+                )
+                break
+
+    # ------------------------------------------------------------------
+    # Work arrival
+    # ------------------------------------------------------------------
+    def enqueue_message(self, message: Message) -> None:
+        """Receive-queue arrival (called by the interconnect)."""
+        if message.vnet is VirtualNetwork.RESPONSE:
+            self._response_queue.append(message)
+        else:
+            self._request_queue.append(message)
+        self.stats.incr(f"{self._prefix}.messages_received")
+        self._pump()
+
+    def enqueue_fault(self, fault: AccessFault) -> None:
+        """BAF-buffer arrival (the bus monitor captured a faulting access)."""
+        self._baf_buffer.append(fault)
+        self.stats.incr(f"{self._prefix}.block_faults")
+        for observer in getattr(self.node.machine, "fault_observers", ()):
+            observer(fault)
+        self._pump()
+
+    def set_fault_handler(self, mode: int, is_write: bool, handler: str) -> None:
+        """Bind a block-access-fault handler for a page mode + access type."""
+        self._fault_dispatch[(mode, is_write)] = handler
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        if self._busy:
+            return
+        if self._response_queue:
+            self._start_message(self._response_queue.popleft())
+        elif self._baf_buffer:
+            self._start_fault(self._baf_buffer.popleft())
+        elif self._request_queue:
+            self._start_message(self._request_queue.popleft())
+
+    def _start_message(self, message: Message) -> None:
+        spec = self.node.registry.lookup(message.handler)
+        cost = spec.instructions * self.costs.cycles_per_instruction
+        # Handlers that touch a block's memory go through the NP TLB.
+        addr = message.payload.get("addr")
+        if addr is not None:
+            if not self.np_tlb.access(self.node.layout.page_number(addr)):
+                cost += self.costs.np_tlb_miss
+                self.stats.incr(f"{self._prefix}.np_tlb_misses")
+        self._begin(cost, spec.fn, message)
+
+    def _start_fault(self, fault: AccessFault) -> None:
+        entry = self.node.page_table.lookup(fault.addr)
+        if entry is None:
+            raise DispatchError(
+                f"BAF for unmapped page {fault.addr:#x} on node "
+                f"{self.node.node_id}"
+            )
+        handler_name = self._fault_dispatch.get((entry.mode, fault.is_write))
+        if handler_name is None:
+            raise DispatchError(
+                f"no fault handler for mode={entry.mode} "
+                f"is_write={fault.is_write} on node {self.node.node_id}"
+            )
+        spec = self.node.registry.lookup(handler_name)
+        cost = (
+            self.costs.baf_dispatch_cycles
+            + spec.instructions * self.costs.cycles_per_instruction
+            + self.rtlb.probe(fault.addr)
+        )
+        self._begin(cost, spec.fn, fault)
+
+    def _begin(self, cost: int, fn, argument) -> None:
+        self._busy = True
+        self.stats.incr(f"{self._prefix}.handler_cycles", cost)
+        self.engine.schedule(cost, self._execute, fn, argument)
+
+    def _execute(self, fn, argument) -> None:
+        self._extra_charge = 0
+        fn(self.node.tempest, argument)
+        extra = self._extra_charge
+        self._extra_charge = 0
+        if extra:
+            self.stats.incr(f"{self._prefix}.handler_cycles", extra)
+            self.engine.schedule(extra, self._finish)
+        else:
+            self._finish()
+
+    def _finish(self) -> None:
+        self._busy = False
+        self._pump()
+
+    # ------------------------------------------------------------------
+    def charge(self, cycles: int) -> None:
+        """Extend the currently executing handler's occupancy."""
+        if cycles < 0:
+            raise SimulationError("cannot charge negative cycles")
+        self._extra_charge += cycles
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def queued_work(self) -> int:
+        return (
+            len(self._response_queue)
+            + len(self._request_queue)
+            + len(self._baf_buffer)
+        )
+
+    def __repr__(self) -> str:
+        state = "busy" if self._busy else "idle"
+        return f"NetworkProcessor(node={self.node.node_id}, {state}, queued={self.queued_work})"

@@ -1,0 +1,59 @@
+"""The reverse TLB (paper Section 5.4).
+
+The NP snoops physical addresses on the MBus, so it needs a
+physical-page-indexed structure to find a block's tag quickly: the RTLB.
+Each entry holds two tag bits per 32-byte block (ReadWrite / ReadOnly /
+Invalid / Busy), the virtual page number, a four-bit *page mode* used with
+the access type to select the fault handler, and 48 bits of uninterpreted
+user state (Stache keeps a home-node id and a directory pointer there).
+
+In this model the authoritative tag array is the node's
+:class:`~repro.memory.tags.TagStore` (hardware would keep it in the RTLB
+entry and spill to memory); the RTLB contributes *timing*: a transaction
+that misses is nacked with "relinquish and retry" while the entry is
+fetched from memory, modelled as the Table 2 RTLB miss penalty.  An entry
+can alternatively mark a large untagged region (text/kernel) — private
+memory here — which never charges tag-check cost.
+"""
+
+from __future__ import annotations
+
+from repro.memory.address import AddressLayout
+from repro.memory.tlb import Tlb
+from repro.sim.config import TlbConfig
+
+
+class ReverseTlb:
+    """Physical-page-indexed tag cache; misses cost ``miss_cycles``."""
+
+    def __init__(self, entries: int, miss_cycles: int, layout: AddressLayout):
+        self.layout = layout
+        self._tlb = Tlb(
+            TlbConfig(entries=entries, miss_cycles=miss_cycles), name="rtlb"
+        )
+        self.miss_cycles = miss_cycles
+
+    def probe(self, addr: int) -> int:
+        """Probe for the page holding ``addr``; returns the cycle penalty.
+
+        0 on a hit; ``miss_cycles`` on a miss (the entry is fetched and
+        installed, FIFO-replacing the oldest).
+        """
+        if self._tlb.access(self.layout.page_number(addr)):
+            return 0
+        return self.miss_cycles
+
+    def shoot_down(self, addr: int) -> None:
+        """Drop the entry for a page (unmap/remap)."""
+        self._tlb.evict(self.layout.page_number(addr))
+
+    @property
+    def hits(self) -> int:
+        return self._tlb.hits
+
+    @property
+    def misses(self) -> int:
+        return self._tlb.misses
+
+    def __repr__(self) -> str:
+        return f"ReverseTlb(hits={self.hits}, misses={self.misses})"

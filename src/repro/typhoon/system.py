@@ -1,0 +1,65 @@
+"""Whole-machine assembly for Typhoon.
+
+A :class:`TyphoonMachine` is the simulated analogue of Figure 1: N
+homogeneous nodes on a point-to-point network, each with an NP.  A
+user-level protocol (Stache, or a custom one) is *installed* onto the
+machine — it registers its message and fault handlers on every node,
+exactly as linking against the Stache runtime library does in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.machine import MachineBase
+from repro.sim.config import MachineConfig
+from repro.typhoon.node import TyphoonNode
+
+
+class TyphoonMachine(MachineBase):
+    """N Typhoon nodes plus interconnect; runs user-level protocols."""
+
+    system_name = "typhoon"
+
+    def __init__(self, config: MachineConfig):
+        super().__init__(config)
+        self.nodes: list[TyphoonNode] = [
+            TyphoonNode(node_id, self) for node_id in range(config.nodes)
+        ]
+        self.protocol = None
+
+    @property
+    def tempests(self) -> list:
+        """The per-node Tempest interfaces (what user-level code sees)."""
+        return [node.tempest for node in self.nodes]
+
+    def install_protocol(self, protocol) -> None:
+        """Install a user-level protocol library on every node."""
+        if self.protocol is not None:
+            raise RuntimeError("a protocol is already installed")
+        self.protocol = protocol
+        protocol.install(self)
+
+    def use_software_barrier(self, coordinator: int = 0) -> None:
+        """Replace the hardware barrier network with a message-built one.
+
+        For machines without a CM-5-style control network (and for the
+        barrier-cost ablation): applications' ``ctx.barrier()`` then runs
+        over active messages (`repro.tempest.swbarrier`).
+        """
+        from repro.tempest.swbarrier import SoftwareBarrier
+
+        self._software_barrier = SoftwareBarrier(
+            self.tempests, coordinator=coordinator)
+
+    def barrier_wait(self, node_id: int):
+        barrier = getattr(self, "_software_barrier", None)
+        if barrier is None:
+            yield self.barrier.arrive(node_id)
+        else:
+            yield from barrier.arrive(node_id)
+
+    def __repr__(self) -> str:
+        protocol = type(self.protocol).__name__ if self.protocol else "none"
+        return (
+            f"TyphoonMachine(nodes={self.num_nodes}, protocol={protocol}, "
+            f"cache={self.config.cache.size_bytes}B)"
+        )

@@ -1,0 +1,48 @@
+"""Shared fixtures for application tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.base import run_app
+from repro.protocols.dirnnb import DirNNBMachine
+from repro.protocols.em3d_update import Em3dUpdateProtocol
+from repro.protocols.stache import StacheProtocol
+from repro.sim.config import MachineConfig
+from repro.typhoon.system import TyphoonMachine
+
+
+def run_on_stache(app, nodes=4, seed=1, **config_kwargs):
+    machine = TyphoonMachine(MachineConfig(nodes=nodes, seed=seed,
+                                           **config_kwargs))
+    protocol = StacheProtocol()
+    machine.install_protocol(protocol)
+    time = run_app(machine, app, protocol)
+    return machine, time
+
+
+def run_on_dirnnb(app, nodes=4, seed=1, **config_kwargs):
+    machine = DirNNBMachine(MachineConfig(nodes=nodes, seed=seed,
+                                          **config_kwargs))
+    time = run_app(machine, app, None)
+    return machine, time
+
+
+def run_on_update(app, nodes=4, seed=1, **config_kwargs):
+    machine = TyphoonMachine(MachineConfig(nodes=nodes, seed=seed,
+                                           **config_kwargs))
+    protocol = Em3dUpdateProtocol()
+    machine.install_protocol(protocol)
+    time = run_app(machine, app, protocol)
+    return machine, time
+
+
+ALL_RUNNERS = {
+    "stache": run_on_stache,
+    "dirnnb": run_on_dirnnb,
+}
+
+
+@pytest.fixture(params=sorted(ALL_RUNNERS))
+def runner(request):
+    return ALL_RUNNERS[request.param]

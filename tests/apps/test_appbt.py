@@ -1,0 +1,77 @@
+"""Tests for the Appbt application."""
+
+from repro.apps.appbt import AppbtApplication
+from repro.protocols.verify import check_stache_coherence
+from tests.apps.conftest import run_on_dirnnb, run_on_stache
+
+
+def test_runs_to_completion_on_both_machines(runner):
+    app = AppbtApplication(grid=6, iterations=1, seed=1)
+    machine, time = runner(app, nodes=4)
+    assert time > 0
+
+
+def test_all_cells_updated():
+    app = AppbtApplication(grid=6, iterations=1, seed=1)
+    machine, _ = run_on_dirnnb(app, nodes=2)
+    # After the sweeps most cells differ from their initial values.
+    from repro.sim.rng import RngStreams
+    rng = RngStreams(1).stream("appbt.init")
+    initial = {}
+    for z in range(6):
+        for y in range(6):
+            for x in range(6):
+                for word in range(app.words_per_cell):
+                    initial[(x, y, z, word)] = round(rng.uniform(0, 1), 6)
+    changed = 0
+    for z in range(6):
+        for y in range(6):
+            for x in range(6):
+                for word in range(app.words_per_cell):
+                    got = app.peek(machine, app.cell_addr(x, y, z, word))
+                    if got != initial[(x, y, z, word)]:
+                        changed += 1
+    total = 6 * 6 * 6 * app.words_per_cell
+    assert changed > total / 2
+    # And the x=0 line-start cells of the x sweep are only read, so some
+    # cells must be unchanged too (sanity that the reconstruction works).
+    assert changed < total
+
+
+def test_every_word_of_a_cell_participates():
+    app = AppbtApplication(grid=4, iterations=1, seed=1, words_per_cell=4)
+    machine, _ = run_on_dirnnb(app, nodes=2)
+    refs = machine.stats.total(".cpu.refs")
+    app_single = AppbtApplication(grid=4, iterations=1, seed=1,
+                                  words_per_cell=1)
+    machine_single, _ = run_on_dirnnb(app_single, nodes=2)
+    refs_single = machine_single.stats.total(".cpu.refs")
+    assert refs > 3 * refs_single
+
+
+def test_words_per_cell_must_fit_block():
+    import pytest as _pytest
+    with _pytest.raises(ValueError):
+        AppbtApplication(grid=4, words_per_cell=5)
+
+
+def test_z_sweep_reads_neighbour_boundary_plane():
+    app = AppbtApplication(grid=6, iterations=1, seed=1)
+    machine, _ = run_on_stache(app, nodes=3)
+    # Node 1 must fetch node 0's last plane: remote traffic exists.
+    assert machine.stats.get("stache.blocks_fetched") > 0
+    for region in app.slabs:
+        check_stache_coherence(machine, region)
+
+
+def test_x_and_y_sweeps_are_slab_local():
+    app = AppbtApplication(grid=6, iterations=1, seed=1)
+    machine, _ = run_on_stache(app, nodes=1)
+    # On one node nothing is remote at all.
+    assert machine.stats.get("stache.blocks_fetched") == 0
+
+
+def test_more_processors_than_planes_is_legal():
+    app = AppbtApplication(grid=3, iterations=1, seed=1)
+    machine, time = run_on_dirnnb(app, nodes=8)
+    assert time > 0

@@ -1,0 +1,80 @@
+"""Tests for the Barnes-Hut application."""
+
+import math
+
+from repro.apps.barnes import BODY_X, BODY_Y, BarnesApplication
+from tests.apps.conftest import run_on_dirnnb, run_on_stache
+
+
+def final_positions(machine, app):
+    return [
+        (app.peek(machine, app.body_array.addr(i, BODY_X)),
+         app.peek(machine, app.body_array.addr(i, BODY_Y)))
+        for i in range(app.bodies)
+    ]
+
+
+def test_tree_build_is_deterministic():
+    app = BarnesApplication(bodies=16, iterations=1, seed=7)
+    positions = [(0.1 * i, -0.05 * i) for i in range(16)]
+    tree_a = app._build_tree(positions)
+    tree_b = app._build_tree(positions)
+    assert tree_a.count == tree_b.count == 16
+    assert math.isclose(tree_a.com_x, tree_b.com_x)
+    assert math.isclose(tree_a.mass, 16.0)
+
+
+def test_force_walk_visits_fewer_cells_than_bodies():
+    """The theta criterion prunes: O(log n) cells per body, not O(n)."""
+    app = BarnesApplication(bodies=64, iterations=1, seed=7)
+    import random
+    rng = random.Random(1)
+    positions = [(rng.uniform(-1, 1), rng.uniform(-1, 1)) for _ in range(64)]
+    root = app._build_tree(positions)
+    visited = []
+    app._force_on(root, *positions[0], 0, visited)
+    assert 0 < len(visited) < 64
+
+
+def test_same_answer_on_both_machines():
+    results = []
+    for run in (run_on_dirnnb, run_on_stache):
+        app = BarnesApplication(bodies=16, iterations=2, seed=7)
+        machine, _ = run(app, nodes=4)
+        results.append(final_positions(machine, app))
+    for (xa, ya), (xb, yb) in zip(results[0], results[1]):
+        assert math.isclose(xa, xb, abs_tol=1e-12)
+        assert math.isclose(ya, yb, abs_tol=1e-12)
+
+
+def test_same_answer_regardless_of_node_count():
+    results = []
+    for nodes in (1, 4):
+        app = BarnesApplication(bodies=16, iterations=2, seed=7)
+        machine, _ = run_on_dirnnb(app, nodes=nodes)
+        results.append(final_positions(machine, app))
+    for (xa, ya), (xb, yb) in zip(results[0], results[1]):
+        assert math.isclose(xa, xb, abs_tol=1e-12)
+        assert math.isclose(ya, yb, abs_tol=1e-12)
+
+
+def test_bodies_actually_move():
+    app = BarnesApplication(bodies=16, iterations=2, seed=7)
+    machine, _ = run_on_dirnnb(app, nodes=4)
+    moved = final_positions(machine, app)
+    from repro.sim.rng import RngStreams
+    rng = RngStreams(7).stream("barnes.init")
+    initial = [
+        (round(rng.uniform(-1, 1), 6), round(rng.uniform(-1, 1), 6))
+        for _ in range(16)
+    ]
+    assert any(
+        (mx, my) != (ix, iy) for (mx, my), (ix, iy) in zip(moved, initial)
+    )
+
+
+def test_tree_walk_generates_shared_cell_reads():
+    app = BarnesApplication(bodies=32, iterations=1, seed=7)
+    machine, _ = run_on_stache(app, nodes=4)
+    # Cell COM records are fetched from remote homes during the walk.
+    assert machine.stats.get("stache.blocks_fetched") > 0

@@ -1,0 +1,121 @@
+"""Tests for the application framework itself."""
+
+import pytest
+
+from repro.apps.base import AppContext, Application, SharedArray, run_app
+from repro.protocols.stache import StacheProtocol
+from repro.sim.config import MachineConfig
+from repro.typhoon.system import TyphoonMachine
+from tests.protocols.conftest import make_dirnnb_machine, make_stache_machine
+
+
+@pytest.fixture
+def machine():
+    machine = TyphoonMachine(MachineConfig(nodes=4, seed=1))
+    protocol = StacheProtocol()
+    machine.install_protocol(protocol)
+    return machine, protocol
+
+
+class TestSharedArray:
+    def test_striped_ownership(self, machine):
+        m, protocol = machine
+        array = SharedArray(m, protocol, count=8, record_bytes=32,
+                            label="a")
+        assert array.owner_of(0) == 0
+        assert array.owner_of(1) == 0
+        assert array.owner_of(2) == 1
+        assert array.owner_of(7) == 3
+        assert list(array.owned_range(1)) == [2, 3]
+
+    def test_striped_records_are_homed_on_owner(self, machine):
+        m, protocol = machine
+        array = SharedArray(m, protocol, count=8, record_bytes=32, label="a")
+        for index in range(8):
+            assert m.heap.home_of(array.addr(index)) == array.owner_of(index)
+
+    def test_uneven_count_truncates_last_owner(self, machine):
+        m, protocol = machine
+        array = SharedArray(m, protocol, count=6, record_bytes=32, label="a")
+        assert list(array.owned_range(3)) == []
+        assert list(array.owned_range(2)) == [4, 5]
+
+    def test_field_offsets(self, machine):
+        m, protocol = machine
+        array = SharedArray(m, protocol, count=4, record_bytes=32, label="a")
+        assert array.addr(1, offset=8) == array.addr(1) + 8
+        with pytest.raises(IndexError):
+            array.addr(1, offset=32)
+        with pytest.raises(IndexError):
+            array.addr(4)
+
+    def test_non_striped_round_robin(self, machine):
+        m, protocol = machine
+        array = SharedArray(m, protocol, count=4, record_bytes=32, label="a",
+                            striped=False)
+        assert array.addr(1) == array.addr(0) + 32
+        with pytest.raises(ValueError):
+            array.owned_range(0)
+
+    def test_record_size_must_be_power_of_two(self, machine):
+        m, protocol = machine
+        with pytest.raises(ValueError):
+            SharedArray(m, protocol, count=4, record_bytes=24, label="a")
+
+
+class TestPokePeek:
+    def test_round_trip_on_typhoon(self, machine):
+        m, protocol = machine
+        region = m.heap.allocate(4096, home=2, label="x")
+        protocol.setup_region(region)
+        Application.poke(m, region.base + 8, "hello")
+        assert Application.peek(m, region.base + 8) == "hello"
+        assert m.nodes[2].image.read(region.base + 8) == "hello"
+
+    def test_round_trip_on_dirnnb(self):
+        m, region = make_dirnnb_machine(nodes=4)
+        Application.poke(m, region.base, 5)
+        assert Application.peek(m, region.base) == 5
+
+    def test_peek_follows_exclusive_owner(self):
+        from tests.protocols.conftest import run_script
+
+        m, protocol, region = make_stache_machine(nodes=4)
+        addr = region.base
+        run_script(m, {1: [("w", addr, 42)]})
+        # The home's image is stale; peek must chase the owner.
+        assert Application.peek(m, addr) == 42
+
+
+class TestRunApp:
+    def test_setup_then_workers_then_time(self, machine):
+        m, protocol = machine
+        phases = []
+
+        class TinyApp(Application):
+            def setup(self, mach, protocol=None):
+                phases.append("setup")
+
+            def worker(self, ctx):
+                phases.append(f"worker{ctx.node_id}")
+                yield from ctx.compute(flops=1)
+                yield from ctx.barrier()
+
+        time = run_app(m, TinyApp(), protocol)
+        assert phases[0] == "setup"
+        assert sorted(phases[1:]) == [f"worker{n}" for n in range(4)]
+        assert time > 0
+
+    def test_context_compute_cost(self, machine):
+        m, protocol = machine
+
+        class ComputeApp(Application):
+            def setup(self, mach, protocol=None):
+                pass
+
+            def worker(self, ctx):
+                yield from ctx.compute(flops=10, overhead=3)
+
+        time = run_app(m, ComputeApp(), protocol)
+        from repro.apps.base import FLOP_CYCLES, OVERHEAD_CYCLES
+        assert time == 10 * FLOP_CYCLES + 3 * OVERHEAD_CYCLES

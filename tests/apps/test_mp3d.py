@@ -1,0 +1,74 @@
+"""Tests for the MP3D particle application."""
+
+from repro.apps.mp3d import CELL_COUNT, CELL_MOMENTUM, MOL_POS, Mp3dApplication
+from repro.protocols.verify import check_stache_coherence
+from tests.apps.conftest import run_on_dirnnb, run_on_stache
+
+
+def totals(machine, app):
+    population = sum(
+        app.peek(machine, app.space.addr(cell, CELL_COUNT))
+        for cell in range(app.space_cells)
+    )
+    momentum = sum(
+        app.peek(machine, app.space.addr(cell, CELL_MOMENTUM))
+        for cell in range(app.space_cells)
+    )
+    return population, momentum
+
+
+def test_single_node_totals_are_exact():
+    app = Mp3dApplication(molecules=40, space_cells=16, iterations=3, seed=2)
+    machine, _ = run_on_stache(app, nodes=1)
+    assert totals(machine, app) == app.reference_totals()
+
+
+def test_dirnnb_single_node_totals_are_exact():
+    app = Mp3dApplication(molecules=40, space_cells=16, iterations=3, seed=2)
+    machine, _ = run_on_dirnnb(app, nodes=1)
+    assert totals(machine, app) == app.reference_totals()
+
+
+def test_concurrent_totals_bounded_by_reference(runner):
+    app = Mp3dApplication(molecules=64, space_cells=16, iterations=2, seed=2)
+    machine, _ = runner(app, nodes=4)
+    population, momentum = totals(machine, app)
+    max_population, max_momentum = app.reference_totals()
+    # Unlocked RMWs can lose updates (like the real MP3D) but never
+    # invent them.
+    assert 0 < population <= max_population
+    assert 0 < momentum <= max_momentum
+
+
+def test_molecule_positions_stay_in_range(runner):
+    app = Mp3dApplication(molecules=32, space_cells=8, iterations=2, seed=2)
+    machine, _ = runner(app, nodes=4)
+    for index in range(app.molecules):
+        position = app.peek(machine, app.mols.addr(index, MOL_POS))
+        assert 0 <= position < app.space_cells
+
+
+def test_space_cells_cause_heavy_coherence_traffic():
+    app = Mp3dApplication(molecules=64, space_cells=8, iterations=2, seed=2)
+    machine, _ = run_on_stache(app, nodes=4)
+    # Everyone writes the same few cells: invalidations must flow.
+    assert machine.stats.get("stache.invalidations_sent") > 0
+    for region in app.space.regions:
+        check_stache_coherence(machine, region)
+
+
+def test_mp3d_is_invalidation_heavier_than_ocean():
+    """The migratory pattern stresses coherence more than the stencil."""
+    from repro.apps.ocean import OceanApplication
+
+    mp3d = Mp3dApplication(molecules=64, space_cells=8, iterations=2, seed=2)
+    machine_m, _ = run_on_stache(mp3d, nodes=4)
+    refs_m = machine_m.stats.total(".cpu.refs")
+    invals_m = machine_m.stats.get("stache.invalidations_sent")
+
+    ocean = OceanApplication(grid=16, iterations=2, seed=2)
+    machine_o, _ = run_on_stache(ocean, nodes=4)
+    refs_o = machine_o.stats.total(".cpu.refs")
+    invals_o = machine_o.stats.get("stache.invalidations_sent")
+
+    assert invals_m / refs_m > invals_o / max(refs_o, 1)

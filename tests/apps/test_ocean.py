@@ -1,0 +1,76 @@
+"""Tests for the Ocean stencil application."""
+
+import math
+
+from repro.apps.ocean import OceanApplication
+from repro.protocols.verify import (
+    check_dirnnb_coherence,
+    check_stache_coherence,
+)
+from tests.apps.conftest import run_on_dirnnb, run_on_stache
+
+
+def collect_grid(machine, app):
+    which = app.final_grid_index()
+    return [
+        [app.peek(machine, app.cell_addr(which, row, col))
+         for col in range(app.grid)]
+        for row in range(app.grid)
+    ]
+
+
+def assert_grids_close(got, want):
+    for row_got, row_want in zip(got, want):
+        for g, w in zip(row_got, row_want):
+            assert math.isclose(g, w, rel_tol=1e-9, abs_tol=1e-9), (g, w)
+
+
+def test_dirnnb_matches_reference():
+    app = OceanApplication(grid=12, iterations=2, seed=3)
+    machine, _ = run_on_dirnnb(app, nodes=4)
+    assert_grids_close(collect_grid(machine, app), app.reference_values())
+
+
+def test_stache_matches_reference():
+    app = OceanApplication(grid=12, iterations=2, seed=3)
+    machine, _ = run_on_stache(app, nodes=4)
+    assert_grids_close(collect_grid(machine, app), app.reference_values())
+
+
+def test_stache_matches_reference_odd_sizes():
+    app = OceanApplication(grid=11, iterations=3, seed=4)
+    machine, _ = run_on_stache(app, nodes=3)
+    assert_grids_close(collect_grid(machine, app), app.reference_values())
+
+
+def test_single_node():
+    app = OceanApplication(grid=8, iterations=2, seed=3)
+    machine, _ = run_on_stache(app, nodes=1)
+    assert_grids_close(collect_grid(machine, app), app.reference_values())
+
+
+def test_coherence_invariants_after_run():
+    app = OceanApplication(grid=12, iterations=2, seed=3)
+    machine, _ = run_on_stache(app, nodes=4)
+    for regions in app.grids:
+        for region in regions:
+            check_stache_coherence(machine, region)
+    machine_d, _ = run_on_dirnnb(
+        OceanApplication(grid=12, iterations=2, seed=3), nodes=4)
+
+
+def test_boundary_sharing_causes_remote_traffic():
+    app = OceanApplication(grid=12, iterations=2, seed=3)
+    machine, _ = run_on_stache(app, nodes=4)
+    # Interior nodes fetch their neighbours' boundary rows.
+    assert machine.stats.get("stache.blocks_fetched") > 0
+
+
+def test_more_nodes_do_not_change_answers():
+    results = []
+    for nodes in (1, 2, 4):
+        app = OceanApplication(grid=12, iterations=2, seed=3)
+        machine, _ = run_on_dirnnb(app, nodes=nodes)
+        results.append(collect_grid(machine, app))
+    assert_grids_close(results[0], results[1])
+    assert_grids_close(results[0], results[2])

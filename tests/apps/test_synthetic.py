@@ -1,0 +1,44 @@
+"""Tests for the synthetic microbenchmarks (the workers self-check values)."""
+
+from repro.apps.synthetic import (
+    MigratoryApplication,
+    ProducerConsumerApplication,
+    ReadMostlyApplication,
+)
+from tests.apps.conftest import run_on_dirnnb, run_on_stache
+
+
+def test_read_mostly_values_correct(runner):
+    app = ReadMostlyApplication(records=4, reads_per_phase=2, phases=2)
+    machine, time = runner(app, nodes=4)
+    assert time > 0
+
+
+def test_migratory_counts_every_increment(runner):
+    app = MigratoryApplication(records=3, rounds=2)
+    machine, _ = runner(app, nodes=4)
+    for index in range(app.records):
+        value = app.peek(machine, app.array.addr(index))
+        assert value == app.expected_total(4)
+
+
+def test_producer_consumer_sees_fresh_buffers(runner):
+    app = ProducerConsumerApplication(buffer_records=4, phases=2)
+    machine, time = runner(app, nodes=4)
+    assert time > 0
+
+
+def test_read_mostly_is_cheap_after_first_fetch():
+    app = ReadMostlyApplication(records=4, reads_per_phase=8, phases=1)
+    machine, _ = run_on_stache(app, nodes=4)
+    refs = machine.stats.total(".cpu.refs")
+    fetches = machine.stats.get("stache.blocks_fetched")
+    # Far fewer protocol fetches than references: re-reads hit locally.
+    assert fetches < refs / 4
+
+
+def test_migratory_pattern_ping_pongs_blocks():
+    app = MigratoryApplication(records=2, rounds=3)
+    machine, _ = run_on_stache(app, nodes=4)
+    # Every turn invalidates the previous writer's copy.
+    assert machine.stats.get("stache.invalidations_sent") > 0

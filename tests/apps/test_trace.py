@@ -1,0 +1,98 @@
+"""Tests for trace-driven execution."""
+
+import pytest
+
+from repro.apps.base import run_app
+from repro.apps.trace import TraceApplication, TraceError, parse_trace
+from tests.apps.conftest import run_on_dirnnb, run_on_stache
+
+
+class TestParser:
+    def test_parses_all_op_kinds(self):
+        text = """
+        # a comment
+        0 r 0x100
+        0 w 0x100 7
+        1 c 50
+        1 b
+        """.splitlines()
+        programs = parse_trace(text)
+        assert programs == {
+            0: [("r", 0x100), ("w", 0x100, 7)],
+            1: [("c", 50), ("b",)],
+        }
+
+    def test_values_may_be_float_or_string(self):
+        programs = parse_trace(["0 w 8 3.5", "0 w 16 token"])
+        assert programs[0] == [("w", 8, 3.5), ("w", 16, "token")]
+
+    def test_decimal_and_hex_addresses(self):
+        programs = parse_trace(["0 r 256", "0 r 0x100"])
+        assert programs[0] == [("r", 256), ("r", 0x100)]
+
+    def test_inline_comments_and_blank_lines(self):
+        programs = parse_trace(["", "0 r 8  # trailing", "   "])
+        assert programs == {0: [("r", 8)]}
+
+    def test_malformed_lines_rejected_with_location(self):
+        with pytest.raises(TraceError, match="line 2"):
+            parse_trace(["0 r 8", "0 q 8"])
+        with pytest.raises(TraceError):
+            parse_trace(["0 r"])
+        with pytest.raises(TraceError):
+            parse_trace(["zero r 8"])
+
+
+class TestReplay:
+    def make_app(self):
+        programs = parse_trace([
+            "0 w 0 11",
+            "0 b",
+            "1 b",
+            "1 r 0",
+            "1 w 32 22",
+            "1 b",
+            "0 b",
+            "0 r 32",
+        ])
+        return TraceApplication(programs, region_bytes=4096, relative=True)
+
+    def test_replay_on_stache(self):
+        app = self.make_app()
+        machine, time = run_on_stache(app, nodes=2)
+        assert time > 0
+        assert app.reads[1] == [11]
+        assert app.reads[0] == [22]
+
+    def test_replay_on_dirnnb(self):
+        app = self.make_app()
+        machine, _ = run_on_dirnnb(app, nodes=2)
+        assert app.reads[1] == [11]
+        assert app.reads[0] == [22]
+
+    def test_same_trace_same_cycles(self):
+        times = {run_on_stache(self.make_app(), nodes=2)[1]
+                 for _ in range(2)}
+        assert len(times) == 1
+
+    def test_trace_for_absent_node_rejected(self):
+        app = TraceApplication({5: [("r", 0)]}, relative=True)
+        with pytest.raises(TraceError, match="node 5"):
+            run_on_stache(app, nodes=2)
+
+    def test_absolute_addresses(self):
+        from repro.protocols.stache import StacheProtocol
+        from repro.sim.config import MachineConfig
+        from repro.typhoon.system import TyphoonMachine
+
+        machine = TyphoonMachine(MachineConfig(nodes=2, seed=1))
+        protocol = StacheProtocol()
+        machine.install_protocol(protocol)
+        region = machine.heap.allocate(4096, home=0, label="mine")
+        protocol.setup_region(region)
+        app = TraceApplication(
+            {1: [("w", region.base, 9), ("r", region.base)]},
+            region_bytes=0,
+        )
+        run_app(machine, app, protocol)
+        assert app.reads[1] == [9]

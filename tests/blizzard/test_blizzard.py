@@ -1,0 +1,158 @@
+"""Tests for the all-software Tempest backend (Blizzard)."""
+
+import math
+
+import pytest
+
+from repro.apps.base import run_app
+from repro.apps.em3d import VALUE_OFFSET, Em3dApplication
+from repro.apps.ocean import OceanApplication
+from repro.apps.synthetic import MigratoryApplication, ReadMostlyApplication
+from repro.blizzard.system import BlizzardMachine
+from repro.memory.tags import Tag
+from repro.protocols.history import AccessHistory, check_register_consistency
+from repro.protocols.stache import StacheProtocol
+from repro.protocols.verify import check_stache_coherence
+from repro.sim.config import BlizzardCosts, MachineConfig
+from repro.typhoon.system import TyphoonMachine
+
+
+def make_machine(nodes=4, seed=1, **config_kwargs):
+    machine = BlizzardMachine(MachineConfig(nodes=nodes, seed=seed,
+                                            **config_kwargs))
+    protocol = StacheProtocol()
+    machine.install_protocol(protocol)
+    region = machine.heap.allocate(4 * 4096, label="test")
+    protocol.setup_region(region)
+    return machine, protocol, region
+
+
+def addr_homed_on(machine, region, home):
+    for page in range(region.base, region.end, machine.layout.page_size):
+        if machine.heap.home_of(page) == home:
+            return page
+    raise AssertionError
+
+
+class TestUnchangedProtocol:
+    """The Tempest portability claim: Stache installs verbatim."""
+
+    def test_stache_installs_without_modification(self):
+        machine, protocol, region = make_machine()
+        assert isinstance(protocol, StacheProtocol)
+        assert "stache.get_ro" in machine.nodes[0].registry
+
+    def test_remote_read_fetches_correct_value(self):
+        machine, protocol, region = make_machine()
+        addr = addr_homed_on(machine, region, home=0)
+        machine.nodes[0].image.write(addr, 99)
+        got = {}
+
+        def worker(node_id):
+            if node_id == 1:
+                got["value"] = yield from machine.nodes[1].access(addr, False)
+            else:
+                yield 1
+
+        machine.run_workers(worker)
+        assert got["value"] == 99
+        block = machine.layout.block_of(addr)
+        assert machine.nodes[1].tags.read_tag(block) is Tag.READ_ONLY
+        check_stache_coherence(machine, region)
+
+    def test_write_invalidation_across_software_nodes(self):
+        machine, protocol, region = make_machine()
+        addr = addr_homed_on(machine, region, home=0)
+
+        def worker(node_id):
+            if node_id == 1:
+                yield from machine.nodes[1].access(addr, False)
+                yield from machine.barrier_wait(1)
+            elif node_id == 2:
+                yield from machine.barrier_wait(2)
+                yield from machine.nodes[2].access(addr, True, 5)
+            else:
+                yield from machine.barrier_wait(node_id)
+
+        machine.run_workers(worker)
+        block = machine.layout.block_of(addr)
+        assert machine.nodes[1].tags.read_tag(block) is Tag.INVALID
+        assert machine.nodes[2].tags.read_tag(block) is Tag.READ_WRITE
+        check_stache_coherence(machine, region)
+
+
+class TestApplications:
+    def test_ocean_matches_reference(self):
+        machine = BlizzardMachine(MachineConfig(nodes=4, seed=1))
+        protocol = StacheProtocol()
+        machine.install_protocol(protocol)
+        app = OceanApplication(grid=12, iterations=2, seed=3)
+        run_app(machine, app, protocol)
+        ref = app.reference_values()
+        which = app.final_grid_index()
+        for row in range(app.grid):
+            for col in range(app.grid):
+                got = app.peek(machine, app.cell_addr(which, row, col))
+                assert math.isclose(got, ref[row][col], rel_tol=1e-9,
+                                    abs_tol=1e-9)
+
+    def test_em3d_matches_reference(self):
+        machine = BlizzardMachine(MachineConfig(nodes=4, seed=1))
+        protocol = StacheProtocol()
+        machine.install_protocol(protocol)
+        app = Em3dApplication(nodes_per_proc=8, degree=3,
+                              remote_fraction=0.3, iterations=2, seed=5)
+        run_app(machine, app, protocol)
+        ref_e, _ = app.reference_values()
+        for index in range(app.e_nodes.count):
+            got = app.peek(machine,
+                           app.e_nodes.addr(index, VALUE_OFFSET))
+            assert math.isclose(got, ref_e[index], rel_tol=1e-9,
+                                abs_tol=1e-9)
+
+    def test_migratory_counts_survive_software_handlers(self):
+        machine = BlizzardMachine(MachineConfig(nodes=4, seed=1))
+        protocol = StacheProtocol()
+        machine.install_protocol(protocol)
+        app = MigratoryApplication(records=3, rounds=2)
+        run_app(machine, app, protocol)
+        for index in range(app.records):
+            assert app.peek(machine, app.array.addr(index)) == 8
+
+    def test_history_is_register_consistent(self):
+        machine = BlizzardMachine(MachineConfig(nodes=4, seed=1))
+        protocol = StacheProtocol()
+        machine.install_protocol(protocol)
+        machine.history = AccessHistory()
+        app = ReadMostlyApplication(records=4, reads_per_phase=2, phases=2)
+        run_app(machine, app, protocol)
+        assert check_register_consistency(machine.history) == []
+
+
+class TestCostModel:
+    def run_em3d(self, machine_cls, **config_kwargs):
+        machine = machine_cls(MachineConfig(nodes=4, seed=1, **config_kwargs))
+        protocol = StacheProtocol()
+        machine.install_protocol(protocol)
+        app = Em3dApplication(nodes_per_proc=8, degree=3,
+                              remote_fraction=0.4, iterations=2, seed=5)
+        return run_app(machine, app, protocol), machine
+
+    def test_software_tempest_is_slower_than_typhoon(self):
+        """What the NP buys: handlers steal computation cycles here."""
+        typhoon_time, _ = self.run_em3d(TyphoonMachine)
+        blizzard_time, _ = self.run_em3d(BlizzardMachine)
+        assert blizzard_time > typhoon_time
+
+    def test_write_checks_are_charged(self):
+        cheap, _ = self.run_em3d(BlizzardMachine)
+        costly, _ = self.run_em3d(
+            BlizzardMachine,
+            blizzard=BlizzardCosts(check_write_cycles=30,
+                                   check_read_cycles=10),
+        )
+        assert costly > cheap
+
+    def test_handlers_run_on_cpu_counter(self):
+        _, machine = self.run_em3d(BlizzardMachine)
+        assert machine.stats.total(".sw.handlers_run") > 0

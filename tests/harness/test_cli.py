@@ -1,0 +1,48 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_enumerates_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table1", "table2", "table3", "figure3", "figure4",
+                 "messages", "ablations"):
+        assert name in out
+
+
+def test_table2_runs_and_prints(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Simulation parameters" in out
+    assert "Network latency" in out
+
+
+def test_table1_runs(capsys):
+    assert main(["table1"]) == 0
+    assert "force-write" in capsys.readouterr().out
+
+
+def test_figure3_with_app_subset(capsys):
+    assert main(["figure3", "--nodes", "2", "--apps", "ocean"]) == 0
+    out = capsys.readouterr().out
+    assert "ocean" in out
+    assert "barnes" not in out
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure3", "--apps", "linpack"])
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure9"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["figure4"])
+    assert args.nodes == 8
+    assert args.seed == 42

@@ -1,0 +1,140 @@
+"""Tests for the experiment registry (small configurations)."""
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.runner import SYSTEMS, build_machine, run_application
+from repro.harness.workloads import workload
+from repro.sim.config import MachineConfig
+
+
+class TestRunner:
+    def test_build_machine_for_each_system(self):
+        for system in SYSTEMS:
+            machine, protocol = build_machine(
+                system, MachineConfig(nodes=2, seed=1))
+            assert machine.num_nodes == 2
+            if system == "dirnnb":
+                assert protocol is None
+            else:
+                assert protocol is not None
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            build_machine("flash", MachineConfig(nodes=2))
+
+    def test_run_application_returns_statistics(self):
+        outcome = run_application(
+            "typhoon-stache", workload("ocean", "small").build(),
+            MachineConfig(nodes=2, seed=1),
+        )
+        assert outcome["execution_time"] > 0
+        assert outcome["refs"] > 0
+        assert "machine" in outcome
+
+
+class TestTable1:
+    def test_covers_all_nine_operations(self):
+        result = experiments.run_table1()
+        operations = result.column("operation")
+        assert operations == [
+            "read", "write", "force-read", "force-write", "read-tag",
+            "set-RW", "set-RO", "invalidate", "resume",
+        ]
+
+    def test_observations_show_fault_semantics(self):
+        result = experiments.run_table1()
+        by_op = {row["operation"]: row["observed"] for row in result.rows}
+        assert "faults" in by_op["read"]
+        assert "despite Invalid" in by_op["force-read"]
+        assert "CPU copy present: False" in by_op["invalidate"]
+        assert "released: True" in by_op["resume"]
+
+
+class TestTable2:
+    def test_every_parameter_matches_paper(self):
+        result = experiments.run_table2()
+        mismatched = [row for row in result.rows if row["match"] != "yes"]
+        assert mismatched == []
+
+    def test_has_all_sections(self):
+        result = experiments.run_table2()
+        parameters = " ".join(result.column("parameter"))
+        assert "DirNNB" in parameters
+        assert "NP" in parameters
+        assert "Network latency" in parameters
+
+
+class TestTable3:
+    def test_ten_rows(self):
+        result = experiments.run_table3()
+        assert len(result.rows) == 10
+
+    def test_paper_parameters_present(self):
+        result = experiments.run_table3()
+        papers = result.column("paper")
+        assert "12x12x12" in papers
+        assert "192,000 nodes, degree 15" in papers
+
+
+class TestFigure3:
+    def test_small_run_has_expected_rows(self):
+        result = experiments.run_figure3(
+            apps=("ocean",), nodes=2,
+            configurations=[("small", 512, 4096), ("large", 2048, 262144)],
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["relative"] > 0
+            assert row["dirnnb_cycles"] > 0
+
+    def test_relative_is_ratio(self):
+        result = experiments.run_figure3(
+            apps=("ocean",), nodes=2,
+            configurations=[("small", 1024, 4096)],
+        )
+        row = result.rows[0]
+        assert row["relative"] == pytest.approx(
+            row["stache_cycles"] / row["dirnnb_cycles"])
+
+
+class TestFigure4:
+    def test_series_columns_and_growth(self):
+        result = experiments.run_figure4(
+            nodes=2, nodes_per_proc=8, degree=3, iterations=2,
+            fractions=(0.0, 0.5),
+        )
+        assert result.column("remote_pct") == [0, 50]
+        # All systems slow down with more remote edges.
+        first, last = result.rows
+        for series in ("dirnnb", "typhoon_stache", "typhoon_update"):
+            assert last[series] > first[series]
+
+    def test_update_protocol_wins_at_high_remote_fraction(self):
+        result = experiments.run_figure4(
+            nodes=4, nodes_per_proc=12, degree=3, iterations=2,
+            fractions=(0.5,),
+        )
+        row = result.rows[0]
+        assert row["typhoon_update"] < row["dirnnb"]
+        assert row["typhoon_update"] < row["typhoon_stache"]
+
+
+class TestAblations:
+    def test_np_speed_monotonic(self):
+        result = experiments.run_ablation_np_speed(nodes=2, cpis=(1, 4))
+        times = result.column("stache_cycles")
+        assert times[1] > times[0]
+
+    def test_topology_mesh_is_slower(self):
+        result = experiments.run_ablation_topology(nodes=4)
+        ideal = result.rows_where(topology="ideal")[0]
+        mesh = result.rows_where(topology="mesh2d")[0]
+        assert mesh["typhoon_stache"] >= ideal["typhoon_stache"]
+
+    def test_first_touch_reduces_remote_traffic(self):
+        result = experiments.run_ablation_first_touch(nodes=4)
+        round_robin = result.rows_where(placement="round_robin")[0]
+        first_touch = result.rows_where(placement="first_touch")[0]
+        assert (first_touch["remote_packets"]
+                < round_robin["remote_packets"])

@@ -1,0 +1,47 @@
+"""Tests for experiment result rendering."""
+
+import pytest
+
+from repro.harness.report import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult("figX", "A Title", ["a", "b"])
+    r.add_row(a=1, b=2.5)
+    r.add_row(a="x", b=0.125)
+    return r
+
+
+def test_add_row_requires_all_columns():
+    r = ExperimentResult("t", "t", ["a", "b"])
+    with pytest.raises(ValueError):
+        r.add_row(a=1)
+
+
+def test_column_extraction(result):
+    assert result.column("a") == [1, "x"]
+
+
+def test_rows_where(result):
+    assert result.rows_where(a="x")[0]["b"] == 0.125
+    assert result.rows_where(a="missing") == []
+
+
+def test_to_text_contains_title_and_cells(result):
+    text = result.to_text()
+    assert "figX: A Title" in text
+    assert "2.500" in text  # float formatting
+    assert "x" in text
+
+
+def test_to_text_columns_align(result):
+    lines = result.to_text().splitlines()
+    header, divider, *body = lines[1:]
+    assert len(header) == len(divider)
+    assert all(len(line) == len(header) for line in body)
+
+
+def test_notes_rendered(result):
+    result.notes.append("hello note")
+    assert "note: hello note" in result.to_text()

@@ -1,0 +1,43 @@
+"""Tests for CSV/JSON result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.harness.report import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult("figX", "Title", ["name", "value"])
+    r.add_row(name="a", value=1.5)
+    r.add_row(name="b", value=2)
+    r.notes.append("a note")
+    return r
+
+
+def test_csv_round_trips(result):
+    rows = list(csv.reader(io.StringIO(result.to_csv())))
+    assert rows[0] == ["name", "value"]
+    assert rows[1] == ["a", "1.5"]
+    assert rows[2] == ["b", "2"]
+
+
+def test_json_contains_everything(result):
+    payload = json.loads(result.to_json())
+    assert payload["experiment_id"] == "figX"
+    assert payload["columns"] == ["name", "value"]
+    assert payload["rows"] == [
+        {"name": "a", "value": 1.5},
+        {"name": "b", "value": 2},
+    ]
+    assert payload["notes"] == ["a note"]
+
+
+def test_json_handles_non_serializable_values():
+    r = ExperimentResult("x", "t", ["v"])
+    r.add_row(v={1, 2})  # a set: json falls back to str()
+    payload = json.loads(r.to_json())
+    assert "1" in payload["rows"][0]["v"]

@@ -1,0 +1,77 @@
+"""Tests for the protocol trace tool."""
+
+import pytest
+
+from repro.harness.trace import ProtocolTrace
+from tests.protocols.conftest import make_stache_machine, run_script
+
+
+def addr_homed_on(machine, region, home):
+    for page in range(region.base, region.end, machine.layout.page_size):
+        if machine.heap.home_of(page) == home:
+            return page
+    raise AssertionError
+
+
+@pytest.fixture
+def traced_run():
+    machine, protocol, region = make_stache_machine(nodes=2)
+    trace = ProtocolTrace(machine, capture_payloads=True)
+    addr = addr_homed_on(machine, region, home=0)
+    run_script(machine, {1: [("r", addr)]})
+    return machine, trace, addr
+
+
+def test_records_fault_and_message_events(traced_run):
+    machine, trace, addr = traced_run
+    kinds = {event.kind for event in trace.events}
+    assert kinds == {"fault", "send", "deliver"}
+
+
+def test_events_are_time_ordered(traced_run):
+    _machine, trace, _addr = traced_run
+    times = [event.time for event in trace.events]
+    assert times == sorted(times)
+
+
+def test_remote_read_sequence_visible(traced_run):
+    """The Section 3 walk-through appears verbatim in the trace."""
+    _machine, trace, _addr = traced_run
+    sends = [event.handler for event in trace.events if event.kind == "send"]
+    assert sends == ["stache.get_ro", "stache.data"]
+    faults = trace.filter(kind="fault")
+    assert len(faults) == 1
+    assert faults[0].handler == "read-Invalid"
+
+
+def test_filtering(traced_run):
+    _machine, trace, _addr = traced_run
+    assert len(trace.filter(handler="stache.get_ro")) == 2  # send + deliver
+    assert trace.filter(kind="send", handler="stache.data")[0].dst == 1
+    assert trace.filter(node=99) == []
+
+
+def test_counts_by_handler(traced_run):
+    _machine, trace, _addr = traced_run
+    counts = trace.counts_by_handler()
+    assert counts == {"stache.get_ro": 1, "stache.data": 1}
+
+
+def test_payload_capture(traced_run):
+    _machine, trace, addr = traced_run
+    send = trace.filter(kind="send", handler="stache.get_ro")[0]
+    assert f"addr={addr:#x}" in send.detail
+
+
+def test_to_text_renders_all_event_kinds(traced_run):
+    _machine, trace, _addr = traced_run
+    text = trace.to_text()
+    assert "fault" in text
+    assert "->" in text   # send arrow
+    assert "=>" in text   # deliver arrow
+
+
+def test_limit(traced_run):
+    _machine, trace, _addr = traced_run
+    text = trace.to_text(limit=1)
+    assert "1 of" in text

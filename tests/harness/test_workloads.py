@@ -1,0 +1,59 @@
+"""Tests for the Table 3 workload registry."""
+
+import pytest
+
+from repro.harness.workloads import (
+    APP_NAMES,
+    PAPER_CACHE_SIZES,
+    SCALED_CACHE_SIZES,
+    figure3_configurations,
+    workload,
+)
+
+
+def test_every_app_has_small_and_large():
+    for app_name in APP_NAMES:
+        for dataset in ("small", "large"):
+            entry = workload(app_name, dataset)
+            assert entry.app_name == app_name
+            assert entry.paper_parameters
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        workload("linpack", "small")
+
+
+def test_factories_produce_fresh_instances():
+    a = workload("em3d", "small").build()
+    b = workload("em3d", "small").build()
+    assert a is not b
+
+
+def test_large_is_larger_than_small():
+    pairs = {
+        "appbt": lambda app: app.grid,
+        "barnes": lambda app: app.bodies,
+        "mp3d": lambda app: app.molecules,
+        "ocean": lambda app: app.grid,
+        "em3d": lambda app: app.nodes_per_proc,
+    }
+    for app_name, measure in pairs.items():
+        small = measure(workload(app_name, "small").build())
+        large = measure(workload(app_name, "large").build())
+        assert large > small
+
+
+def test_cache_ladder_matches_paper_ratios():
+    for (s0, s1), (p0, p1) in zip(
+        zip(SCALED_CACHE_SIZES, SCALED_CACHE_SIZES[1:]),
+        zip(PAPER_CACHE_SIZES, PAPER_CACHE_SIZES[1:]),
+    ):
+        assert s1 // s0 == p1 // p0 == 4
+
+
+def test_figure3_configurations_shape():
+    configs = figure3_configurations()
+    assert len(configs) == 5
+    assert configs[0] == ("small", SCALED_CACHE_SIZES[0], 4096)
+    assert configs[-1] == ("large", SCALED_CACHE_SIZES[-1], 262144)

@@ -1,0 +1,70 @@
+"""Smoke tests: every example program runs and reports sane output.
+
+The examples are deliverables; a refactor that breaks one must fail the
+suite.  Each runs in a subprocess (they are user-facing scripts), with
+the slow sweeps pinned to tiny configurations.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "DirNNB" in out
+    assert "Typhoon/Stache" in out
+    assert "relative" in out
+
+
+def test_custom_sync():
+    out = run_example("custom_sync.py")
+    assert "max threads in section    : 1" in out
+
+
+def test_message_passing():
+    out = run_example("message_passing.py")
+    assert "(must be 0)" in out
+    assert "global sum" in out
+
+
+def test_minimal_protocol():
+    out = run_example("minimal_protocol.py")
+    assert "four small handlers" in out
+
+
+def test_stache_toolkit():
+    out = run_example("stache_toolkit.py")
+    assert "checkin" in out
+    assert "migration" in out
+
+
+def test_trace_replay():
+    out = run_example("trace_replay.py")
+    assert "dirnnb" in out
+    assert "ivy" in out
+
+
+def test_em3d_custom_protocol_small():
+    out = run_example("em3d_custom_protocol.py", "--nodes", "2")
+    assert "figure4" in out
+    assert "custom protocol outperforms DirNNB" in out
+
+
+def test_figure3_sweep_small():
+    out = run_example("figure3_sweep.py", "--nodes", "2", "--apps", "ocean")
+    assert "figure3" in out
+    assert "ocean" in out

@@ -1,0 +1,91 @@
+"""Tests for the shared machine assembly (repro.machine)."""
+
+import pytest
+
+from repro.protocols.dirnnb import DirNNBMachine
+from repro.sim.config import MachineConfig, NetworkConfig
+from repro.sim.engine import SimulationError
+from repro.typhoon.system import TyphoonMachine
+
+
+def test_run_workers_reports_per_node_finish_times():
+    machine = DirNNBMachine(MachineConfig(nodes=3, seed=1))
+
+    def worker(node_id):
+        yield (node_id + 1) * 100
+
+    times = machine.run_workers(worker)
+    assert times == {0: 100, 1: 200, 2: 300}
+    assert machine.execution_time == 300
+
+
+def test_deadlocked_worker_is_reported_not_hung():
+    machine = TyphoonMachine(MachineConfig(nodes=2, seed=1))
+
+    def worker(node_id):
+        if node_id == 0:
+            from repro.sim.process import Future
+
+            yield Future(machine.engine)  # never resolves
+        else:
+            yield 1
+
+    with pytest.raises(SimulationError, match="deadlock.*cpu0"):
+        machine.run_workers(worker)
+
+
+def test_mismatched_barrier_counts_deadlock_cleanly():
+    machine = TyphoonMachine(MachineConfig(nodes=2, seed=1))
+
+    def worker(node_id):
+        if node_id == 0:
+            yield from machine.barrier_wait(0)
+        else:
+            yield 1  # never arrives
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        machine.run_workers(worker)
+
+
+def test_invalid_config_rejected_at_construction():
+    with pytest.raises(ValueError):
+        TyphoonMachine(MachineConfig(nodes=0))
+    with pytest.raises(ValueError):
+        TyphoonMachine(MachineConfig(block_size=64))
+
+
+def test_mesh_topology_configuration_applies():
+    config = MachineConfig(nodes=4, network=NetworkConfig(topology="mesh2d"))
+    machine = TyphoonMachine(config)
+    from repro.network.topology import Mesh2D
+
+    assert isinstance(machine.interconnect.topology, Mesh2D)
+
+
+def test_contention_configuration_applies():
+    config = MachineConfig(
+        nodes=2, network=NetworkConfig(model_contention=True))
+    machine = TyphoonMachine(config)
+    assert machine.interconnect.model_contention is True
+
+
+def test_default_wait_blocks_on_future():
+    machine = TyphoonMachine(MachineConfig(nodes=1, seed=1))
+    from repro.sim.process import Future
+
+    future = Future(machine.engine)
+    landed = []
+
+    def worker(node_id):
+        yield from machine.wait(node_id, future)
+        landed.append(machine.engine.now)
+
+    machine.engine.schedule(70, future.resolve, None)
+    machine.run_workers(worker)
+    assert landed == [70]
+
+
+def test_nodes_accessor():
+    machine = TyphoonMachine(MachineConfig(nodes=3, seed=1))
+    assert machine.node(2) is machine.nodes[2]
+    assert machine.num_nodes == 3

@@ -1,0 +1,75 @@
+"""Paper-scale smoke tests: the full 32-node configuration of Section 6.
+
+The benchmark suite defaults to 8 nodes for speed; these tests pin that
+nothing about the model breaks at the paper's actual node count —
+including the software directory's pointer->bitvector overflow, which
+only triggers with more than six sharers.
+"""
+
+import pytest
+
+from repro.apps.base import run_app
+from repro.apps.em3d import Em3dApplication
+from repro.apps.synthetic import ReadMostlyApplication
+from repro.harness.runner import run_application
+from repro.protocols.stache import StacheProtocol
+from repro.protocols.verify import check_stache_coherence
+from repro.sim.config import MachineConfig
+from repro.typhoon.system import TyphoonMachine
+from tests.protocols.conftest import make_stache_machine, run_script
+
+
+def test_32_node_em3d_on_all_three_systems():
+    results = {}
+    for system in ("dirnnb", "typhoon-stache", "typhoon-update"):
+        app = Em3dApplication(nodes_per_proc=4, degree=2,
+                              remote_fraction=0.4, iterations=2, seed=7)
+        outcome = run_application(system, app,
+                                  MachineConfig(nodes=32, seed=7))
+        results[system] = outcome["execution_time"]
+    assert all(time > 0 for time in results.values())
+    # The headline ordering holds at paper scale too.
+    assert results["typhoon-update"] < results["dirnnb"]
+    assert results["typhoon-update"] < results["typhoon-stache"]
+
+
+def test_32_node_read_sharing_overflows_pointer_directory():
+    """31 sharers of one block: the six-pointer entry must go bit-vector."""
+    machine = TyphoonMachine(MachineConfig(nodes=32, seed=7))
+    protocol = StacheProtocol()
+    machine.install_protocol(protocol)
+    app = ReadMostlyApplication(records=2, reads_per_phase=1, phases=1)
+    run_app(machine, app, protocol)
+
+    home = machine.heap.home_of(app.array.addr(0))
+    page = machine.nodes[home].tempest.page_entry(app.array.addr(0))
+    entry = page.user_word[machine.layout.block_of(app.array.addr(0))]
+    assert entry.sharer_count >= 30
+    assert entry.representation == "bitvector"
+    for region in app.array.regions:
+        check_stache_coherence(machine, region)
+
+
+def test_32_node_write_invalidates_31_sharers():
+    machine, protocol, region = make_stache_machine(
+        nodes=32, shared_bytes=32 * 4096)
+    addr = region.base
+    home = machine.heap.home_of(addr)
+    writer = (home + 1) % 32
+    script = {}
+    for node in range(32):
+        ops = []
+        if node != writer:
+            ops.append(("r", addr))
+        ops.append(("b",))
+        if node == writer:
+            ops.append(("w", addr, "final"))
+        script[node] = ops
+    run_script(machine, script)
+    block = machine.layout.block_of(addr)
+    page = machine.nodes[home].tempest.page_entry(addr)
+    entry = page.user_word[block]
+    assert entry.owner == writer
+    assert entry.sharer_count == 0
+    assert machine.stats.get("stache.invalidations_sent") >= 30
+    check_stache_coherence(machine, region)

@@ -1,0 +1,82 @@
+"""Tests for address arithmetic and the shared-segment layout."""
+
+import pytest
+
+from repro.memory.address import SHARED_BASE, AddressLayout, AddressSpaceError
+
+
+@pytest.fixture
+def layout():
+    return AddressLayout(block_size=32, page_size=4096)
+
+
+def test_block_of_aligns_down(layout):
+    assert layout.block_of(0) == 0
+    assert layout.block_of(31) == 0
+    assert layout.block_of(32) == 32
+    assert layout.block_of(100) == 96
+
+
+def test_block_offset(layout):
+    assert layout.block_offset(100) == 4
+    assert layout.block_offset(96) == 0
+
+
+def test_page_of_aligns_down(layout):
+    assert layout.page_of(4095) == 0
+    assert layout.page_of(4096) == 4096
+    assert layout.page_of(10000) == 8192
+
+
+def test_page_number(layout):
+    assert layout.page_number(0) == 0
+    assert layout.page_number(4096) == 1
+    assert layout.page_number(SHARED_BASE) == SHARED_BASE // 4096
+
+
+def test_block_index_in_page(layout):
+    assert layout.block_index_in_page(0) == 0
+    assert layout.block_index_in_page(32) == 1
+    assert layout.block_index_in_page(4095) == 127
+    # Index is page-relative, so the second page starts at index 0 again.
+    assert layout.block_index_in_page(4096 + 64) == 2
+
+
+def test_blocks_per_page(layout):
+    assert layout.blocks_per_page == 128
+
+
+def test_blocks_in_page_enumerates_bases(layout):
+    blocks = list(layout.blocks_in_page(4096 + 100))
+    assert len(blocks) == 128
+    assert blocks[0] == 4096
+    assert blocks[-1] == 4096 + 127 * 32
+
+
+def test_shared_segment_boundary(layout):
+    assert not layout.is_shared(SHARED_BASE - 1)
+    assert layout.is_shared(SHARED_BASE)
+
+
+def test_rejects_non_power_of_two_geometry():
+    with pytest.raises(AddressSpaceError):
+        AddressLayout(block_size=48)
+    with pytest.raises(AddressSpaceError):
+        AddressLayout(page_size=5000)
+
+
+def test_rejects_page_not_multiple_of_block():
+    with pytest.raises(AddressSpaceError):
+        AddressLayout(block_size=64, page_size=32)
+
+
+def test_validate_rejects_negative(layout):
+    with pytest.raises(AddressSpaceError):
+        layout.validate(-1)
+
+
+def test_non_default_geometry():
+    layout = AddressLayout(block_size=128, page_size=8192)
+    assert layout.blocks_per_page == 64
+    assert layout.block_of(129) == 128
+    assert layout.block_index_in_page(8192 + 256) == 2

@@ -1,0 +1,94 @@
+"""Tests for the shared-segment allocator and page-home table."""
+
+import pytest
+
+from repro.memory.address import SHARED_BASE, AddressLayout, AddressSpaceError
+from repro.memory.allocator import GlobalHeap
+
+
+@pytest.fixture
+def heap():
+    return GlobalHeap(AddressLayout(), nodes=4)
+
+
+def test_allocation_starts_at_shared_base(heap):
+    region = heap.allocate(100)
+    assert region.base == SHARED_BASE
+
+
+def test_allocations_are_page_rounded_and_disjoint(heap):
+    a = heap.allocate(1)
+    b = heap.allocate(4097)
+    assert a.size == 4096
+    assert b.size == 8192
+    assert b.base == a.end
+
+
+def test_round_robin_homes(heap):
+    region = heap.allocate(4 * 4096)
+    homes = [heap.home_of(region.base + i * 4096) for i in range(4)]
+    assert homes == [0, 1, 2, 3]
+
+
+def test_round_robin_continues_across_allocations(heap):
+    heap.allocate(4096)  # home 0
+    region = heap.allocate(4096)
+    assert heap.home_of(region.base) == 1
+
+
+def test_explicit_home_placement(heap):
+    region = heap.allocate(2 * 4096, home=3)
+    assert heap.home_of(region.base) == 3
+    assert heap.home_of(region.base + 4096) == 3
+
+
+def test_home_of_within_page(heap):
+    region = heap.allocate(4096, home=2)
+    assert heap.home_of(region.base + 1234) == 2
+
+
+def test_home_of_unallocated_rejected(heap):
+    with pytest.raises(AddressSpaceError):
+        heap.home_of(SHARED_BASE)
+
+
+def test_allocate_striped_homes_one_region_per_node(heap):
+    regions = heap.allocate_striped(4096, label="nodes")
+    assert len(regions) == 4
+    for node, region in enumerate(regions):
+        assert heap.home_of(region.base) == node
+        assert region.label == f"nodes[{node}]"
+
+
+def test_pages_homed_on(heap):
+    heap.allocate(8 * 4096)  # round robin over 4 nodes, 2 pages each
+    assert len(heap.pages_homed_on(0)) == 2
+    assert len(heap.pages_homed_on(3)) == 2
+
+
+def test_is_allocated(heap):
+    region = heap.allocate(4096)
+    assert heap.is_allocated(region.base + 10)
+    assert not heap.is_allocated(region.end)
+
+
+def test_region_contains(heap):
+    region = heap.allocate(4096)
+    assert region.base in region
+    assert region.end - 1 in region
+    assert region.end not in region
+
+
+def test_invalid_requests_rejected(heap):
+    with pytest.raises(AddressSpaceError):
+        heap.allocate(0)
+    with pytest.raises(AddressSpaceError):
+        heap.allocate(4096, home=9)
+    with pytest.raises(AddressSpaceError):
+        GlobalHeap(AddressLayout(), nodes=0)
+
+
+def test_bytes_allocated(heap):
+    heap.allocate(100)
+    heap.allocate(5000)
+    assert heap.bytes_allocated == 4096 + 8192

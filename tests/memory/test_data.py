@@ -1,0 +1,78 @@
+"""Tests for per-node memory images and block transfer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.address import SHARED_BASE, AddressLayout
+from repro.memory.data import MemoryImage
+
+
+def make_image(node=0):
+    return MemoryImage(AddressLayout(), node=node)
+
+
+def test_read_default_is_zero():
+    assert make_image().read(SHARED_BASE) == 0
+    assert make_image().read(SHARED_BASE, default=None) is None
+
+
+def test_write_then_read():
+    image = make_image()
+    image.write(SHARED_BASE + 8, 3.5)
+    assert image.read(SHARED_BASE + 8) == 3.5
+
+
+def test_export_block_is_offset_keyed():
+    image = make_image()
+    image.write(SHARED_BASE + 8, "a")
+    image.write(SHARED_BASE + 16, "b")
+    image.write(SHARED_BASE + 40, "other-block")
+    payload = image.export_block(SHARED_BASE)
+    assert payload == {8: "a", 16: "b"}
+
+
+def test_import_block_copies_values():
+    source = make_image(node=0)
+    dest = make_image(node=1)
+    source.write(SHARED_BASE + 4, 11)
+    dest.import_block(SHARED_BASE, source.export_block(SHARED_BASE))
+    assert dest.read(SHARED_BASE + 4) == 11
+
+
+def test_import_block_clears_stale_words():
+    dest = make_image()
+    dest.write(SHARED_BASE + 4, "stale")
+    dest.import_block(SHARED_BASE, {8: "fresh"})
+    assert dest.read(SHARED_BASE + 4) == 0
+    assert dest.read(SHARED_BASE + 8) == "fresh"
+
+
+def test_import_block_does_not_touch_neighbors():
+    dest = make_image()
+    dest.write(SHARED_BASE + 40, "keep")
+    dest.import_block(SHARED_BASE, {0: 1})
+    assert dest.read(SHARED_BASE + 40) == "keep"
+
+
+def test_clear_page():
+    image = make_image()
+    image.write(SHARED_BASE + 100, 1)
+    image.write(SHARED_BASE + 4096, 2)
+    image.clear_page(SHARED_BASE)
+    assert image.read(SHARED_BASE + 100) == 0
+    assert image.read(SHARED_BASE + 4096) == 2
+
+
+@given(
+    st.dictionaries(
+        st.integers(0, 7).map(lambda i: i * 4),
+        st.integers(-1000, 1000),
+        max_size=8,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_block_round_trip(words):
+    """export(import(payload)) == payload for word-aligned payloads."""
+    image = make_image()
+    image.import_block(SHARED_BASE + 64, words)
+    assert image.export_block(SHARED_BASE + 64) == words

@@ -1,0 +1,103 @@
+"""Tests for per-node page tables (user-level VM management mechanism)."""
+
+import pytest
+
+from repro.memory.address import SHARED_BASE, AddressLayout
+from repro.memory.page_table import PageTable, PageTableError
+from repro.memory.tags import Tag, TagStore
+
+HOME_MODE = 1
+STACHE_MODE = 2
+
+
+@pytest.fixture
+def table():
+    layout = AddressLayout()
+    return PageTable(layout, TagStore(layout, node=2), node=2)
+
+
+def test_map_page_registers_tags(table):
+    table.map_page(SHARED_BASE, mode=HOME_MODE, home=2, initial_tag=Tag.READ_WRITE)
+    assert table.is_mapped(SHARED_BASE + 100)
+    assert table.tags.read_tag(SHARED_BASE + 100) is Tag.READ_WRITE
+
+
+def test_map_aligns_to_page(table):
+    entry = table.map_page(SHARED_BASE + 123, mode=HOME_MODE, home=0,
+                           initial_tag=Tag.INVALID)
+    assert entry.vpage == SHARED_BASE
+
+
+def test_double_map_rejected(table):
+    table.map_page(SHARED_BASE, mode=HOME_MODE, home=0, initial_tag=Tag.INVALID)
+    with pytest.raises(PageTableError):
+        table.map_page(SHARED_BASE + 8, mode=HOME_MODE, home=0,
+                       initial_tag=Tag.INVALID)
+
+
+def test_unmap_drops_tags(table):
+    table.map_page(SHARED_BASE, mode=HOME_MODE, home=0, initial_tag=Tag.INVALID)
+    table.unmap_page(SHARED_BASE)
+    assert not table.is_mapped(SHARED_BASE)
+    assert not table.tags.has_page(SHARED_BASE)
+
+
+def test_unmap_absent_rejected(table):
+    with pytest.raises(PageTableError):
+        table.unmap_page(SHARED_BASE)
+
+
+def test_lookup_returns_entry_fields(table):
+    table.map_page(SHARED_BASE, mode=STACHE_MODE, home=7,
+                   initial_tag=Tag.INVALID, user_word="directory")
+    entry = table.lookup(SHARED_BASE + 50)
+    assert entry.mode == STACHE_MODE
+    assert entry.home == 7
+    assert entry.user_word == "directory"
+
+
+def test_lookup_unmapped_returns_none(table):
+    assert table.lookup(SHARED_BASE) is None
+
+
+def test_remap_moves_page_with_fresh_tags(table):
+    table.map_page(SHARED_BASE, mode=STACHE_MODE, home=5, initial_tag=Tag.READ_WRITE)
+    table.tags.set_ro(SHARED_BASE)
+    new_vaddr = SHARED_BASE + 2 * 4096
+    entry = table.remap_page(SHARED_BASE, new_vaddr, initial_tag=Tag.INVALID)
+    assert not table.is_mapped(SHARED_BASE)
+    assert table.is_mapped(new_vaddr)
+    assert entry.home == 5
+    assert table.tags.read_tag(new_vaddr) is Tag.INVALID
+
+
+def test_pages_with_mode_filters(table):
+    table.map_page(SHARED_BASE, mode=HOME_MODE, home=0, initial_tag=Tag.INVALID)
+    table.map_page(SHARED_BASE + 4096, mode=STACHE_MODE, home=1,
+                   initial_tag=Tag.INVALID)
+    table.map_page(SHARED_BASE + 8192, mode=STACHE_MODE, home=3,
+                   initial_tag=Tag.INVALID)
+    assert len(table.pages_with_mode(STACHE_MODE)) == 2
+    assert len(table.pages_with_mode(HOME_MODE)) == 1
+
+
+def test_oldest_page_with_mode_is_fifo(table):
+    first = table.map_page(SHARED_BASE + 4096, mode=STACHE_MODE, home=1,
+                           initial_tag=Tag.INVALID)
+    table.map_page(SHARED_BASE + 8192, mode=STACHE_MODE, home=1,
+                   initial_tag=Tag.INVALID)
+    assert table.oldest_page_with_mode(STACHE_MODE) is first
+    assert table.oldest_page_with_mode(HOME_MODE) is None
+
+
+def test_map_unmap_counters(table):
+    table.map_page(SHARED_BASE, mode=HOME_MODE, home=0, initial_tag=Tag.INVALID)
+    table.unmap_page(SHARED_BASE)
+    assert table.maps == 1
+    assert table.unmaps == 1
+
+
+def test_len_counts_mapped_pages(table):
+    assert len(table) == 0
+    table.map_page(SHARED_BASE, mode=HOME_MODE, home=0, initial_tag=Tag.INVALID)
+    assert len(table) == 1

@@ -1,0 +1,65 @@
+"""Tests for the fully-associative FIFO TLB."""
+
+from repro.memory.tlb import Tlb
+from repro.sim.config import TlbConfig
+
+
+def make_tlb(entries=4):
+    return Tlb(TlbConfig(entries=entries))
+
+
+def test_cold_miss_installs_entry():
+    tlb = make_tlb()
+    assert tlb.access(5) is False
+    assert tlb.access(5) is True
+    assert tlb.misses == 1
+    assert tlb.hits == 1
+
+
+def test_fifo_eviction_order():
+    tlb = make_tlb(entries=2)
+    tlb.access(1)
+    tlb.access(2)
+    tlb.access(3)  # evicts 1
+    assert 1 not in tlb
+    assert 2 in tlb
+    assert 3 in tlb
+
+
+def test_fifo_hit_does_not_refresh_position():
+    tlb = make_tlb(entries=2)
+    tlb.access(1)
+    tlb.access(2)
+    tlb.access(1)  # hit; under FIFO, 1 remains the oldest
+    tlb.access(3)  # must evict 1, not 2
+    assert 1 not in tlb
+    assert 2 in tlb
+
+
+def test_capacity_respected():
+    tlb = make_tlb(entries=4)
+    for page in range(10):
+        tlb.access(page)
+    assert len(tlb) == 4
+
+
+def test_evict_removes_named_entry():
+    tlb = make_tlb()
+    tlb.access(7)
+    assert tlb.evict(7) is True
+    assert 7 not in tlb
+    assert tlb.evict(7) is False
+
+
+def test_flush():
+    tlb = make_tlb()
+    for page in range(3):
+        tlb.access(page)
+    tlb.flush()
+    assert len(tlb) == 0
+
+
+def test_table2_default_geometry():
+    tlb = Tlb(TlbConfig())
+    assert tlb.config.entries == 64
+    assert tlb.config.miss_cycles == 25

@@ -1,0 +1,175 @@
+"""Tests for message delivery, FIFO channels, and the barrier network."""
+
+import pytest
+
+from repro.network.interconnect import BarrierNetwork, Interconnect
+from repro.network.message import Message, PacketTooLarge, VirtualNetwork
+from repro.network.topology import IdealTopology
+from repro.sim.config import NetworkConfig
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.process import Process
+from repro.sim.stats import Stats
+
+
+def make_net(engine, nodes=4, latency=11, model_contention=False):
+    config = NetworkConfig(latency=latency)
+    net = Interconnect(
+        engine,
+        config,
+        IdealTopology(nodes, latency),
+        Stats(),
+        model_contention=model_contention,
+    )
+    inboxes = {n: [] for n in range(nodes)}
+    for n in range(nodes):
+        net.attach(n, lambda msg, n=n: inboxes[n].append((msg, engine.now)))
+    return net, inboxes
+
+
+def test_delivery_after_latency():
+    engine = Engine()
+    net, inboxes = make_net(engine)
+    net.send(Message(src=0, dst=1, handler="h"))
+    engine.run()
+    assert len(inboxes[1]) == 1
+    message, arrival = inboxes[1][0]
+    assert message.handler == "h"
+    assert arrival == 11
+
+
+def test_local_message_short_circuits():
+    engine = Engine()
+    net, inboxes = make_net(engine)
+    net.send(Message(src=2, dst=2, handler="self"))
+    engine.run()
+    assert inboxes[2][0][1] == 1  # next cycle, not network latency
+    assert net.stats.get("network.local_packets") == 1
+
+
+def test_fifo_order_preserved_per_channel():
+    engine = Engine()
+    net, inboxes = make_net(engine)
+    for index in range(5):
+        net.send(Message(src=0, dst=1, handler=f"m{index}"))
+    engine.run()
+    assert [m.handler for m, _ in inboxes[1]] == [f"m{i}" for i in range(5)]
+
+
+def test_fifo_across_send_times():
+    engine = Engine()
+    net, inboxes = make_net(engine)
+    engine.schedule(0, net.send, Message(src=0, dst=1, handler="first"))
+    engine.schedule(3, net.send, Message(src=0, dst=1, handler="second"))
+    engine.run()
+    handlers = [m.handler for m, _ in inboxes[1]]
+    assert handlers == ["first", "second"]
+
+
+def test_virtual_networks_carry_independent_traffic():
+    engine = Engine()
+    net, inboxes = make_net(engine)
+    net.send(Message(src=0, dst=1, handler="req", vnet=VirtualNetwork.REQUEST))
+    net.send(Message(src=0, dst=1, handler="resp", vnet=VirtualNetwork.RESPONSE))
+    engine.run()
+    assert {m.vnet for m, _ in inboxes[1]} == {
+        VirtualNetwork.REQUEST,
+        VirtualNetwork.RESPONSE,
+    }
+
+
+def test_packet_size_limit_enforced():
+    engine = Engine()
+    net, _ = make_net(engine)
+    with pytest.raises(PacketTooLarge):
+        net.send(Message(src=0, dst=1, handler="big", size_words=21))
+
+
+def test_send_to_unattached_node_rejected():
+    engine = Engine()
+    net, _ = make_net(engine, nodes=2)
+    with pytest.raises(SimulationError):
+        net.send(Message(src=0, dst=7, handler="x"))
+
+
+def test_double_attach_rejected():
+    engine = Engine()
+    net, _ = make_net(engine, nodes=2)
+    with pytest.raises(SimulationError):
+        net.attach(0, lambda m: None)
+
+
+def test_contention_serializes_channel():
+    engine = Engine()
+    net, inboxes = make_net(engine, model_contention=True)
+    # Two 12-word packets on the same channel at the same time: the second
+    # is pushed behind the first by its word count.
+    net.send(Message(src=0, dst=1, handler="a", size_words=12))
+    net.send(Message(src=0, dst=1, handler="b", size_words=12))
+    engine.run()
+    arrivals = [t for _, t in inboxes[1]]
+    assert arrivals[0] == 11
+    assert arrivals[1] == 11 + 12
+
+
+def test_stats_collected():
+    engine = Engine()
+    net, _ = make_net(engine)
+    net.send(Message(src=0, dst=1, handler="x", size_words=3))
+    net.send(Message(src=1, dst=2, handler="y", size_words=12))
+    engine.run()
+    assert net.stats.get("network.packets") == 2
+    assert net.stats.get("network.words") == 15
+
+
+class TestBarrier:
+    def test_releases_all_after_last_arrival_plus_latency(self):
+        engine = Engine()
+        barrier = BarrierNetwork(engine, participants=3, latency=11)
+        release_times = {}
+
+        def worker(node, delay):
+            yield delay
+            yield barrier.arrive(node)
+            release_times[node] = engine.now
+
+        for node, delay in enumerate((5, 20, 10)):
+            Process(engine, worker(node, delay))
+        engine.run()
+        assert release_times == {0: 31, 1: 31, 2: 31}
+        assert barrier.episodes == 1
+
+    def test_sequential_episodes(self):
+        engine = Engine()
+        barrier = BarrierNetwork(engine, participants=2, latency=1)
+        trace = []
+
+        def worker(node):
+            for phase in range(3):
+                yield barrier.arrive(node)
+                trace.append((phase, node, engine.now))
+
+        Process(engine, worker(0))
+        Process(engine, worker(1))
+        engine.run()
+        assert barrier.episodes == 3
+        phases = [phase for phase, _, _ in trace]
+        assert phases == sorted(phases)
+
+    def test_double_arrival_rejected(self):
+        engine = Engine()
+        barrier = BarrierNetwork(engine, participants=2, latency=1)
+        barrier.arrive(0)
+        with pytest.raises(SimulationError):
+            barrier.arrive(0)
+
+    def test_single_participant_barrier_is_immediate_release(self):
+        engine = Engine()
+        barrier = BarrierNetwork(engine, participants=1, latency=11)
+        future = barrier.arrive(0)
+        engine.run()
+        assert future.done
+        assert engine.now == 11
+
+    def test_zero_participants_rejected(self):
+        with pytest.raises(SimulationError):
+            BarrierNetwork(Engine(), participants=0, latency=1)

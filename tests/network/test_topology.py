@@ -1,0 +1,53 @@
+"""Tests for topology latency models."""
+
+import pytest
+
+from repro.network.topology import IdealTopology, Mesh2D, make_topology
+
+
+class TestIdeal:
+    def test_flat_latency(self):
+        topo = IdealTopology(nodes=32, latency=11)
+        assert topo.latency(0, 31) == 11
+        assert topo.latency(5, 6) == 11
+
+    def test_self_latency_is_zero(self):
+        assert IdealTopology(4, 11).latency(2, 2) == 0
+
+
+class TestMesh2D:
+    def test_32_nodes_is_4x8(self):
+        mesh = Mesh2D(32, base_latency=3, per_hop=2)
+        assert (mesh.width, mesh.height) == (4, 8)
+
+    def test_16_nodes_is_4x4(self):
+        mesh = Mesh2D(16, base_latency=3, per_hop=2)
+        assert (mesh.width, mesh.height) == (4, 4)
+
+    def test_coords_row_major(self):
+        mesh = Mesh2D(16, 0, 1)
+        assert mesh.coords(0) == (0, 0)
+        assert mesh.coords(5) == (1, 1)
+
+    def test_manhattan_hops(self):
+        mesh = Mesh2D(16, 0, 1)
+        assert mesh.hops(0, 5) == 2
+        assert mesh.hops(0, 15) == 6
+        assert mesh.hops(3, 3) == 0
+
+    def test_latency_is_base_plus_hops(self):
+        mesh = Mesh2D(16, base_latency=3, per_hop=2)
+        assert mesh.latency(0, 5) == 3 + 2 * 2
+        assert mesh.latency(1, 1) == 0
+
+    def test_symmetry(self):
+        mesh = Mesh2D(32, 3, 2)
+        for src, dst in [(0, 31), (7, 12), (4, 4)]:
+            assert mesh.latency(src, dst) == mesh.latency(dst, src)
+
+
+def test_factory():
+    assert isinstance(make_topology("ideal", 8, 11), IdealTopology)
+    assert isinstance(make_topology("mesh2d", 8, 3), Mesh2D)
+    with pytest.raises(ValueError):
+        make_topology("hypercube", 8, 3)

@@ -1,0 +1,271 @@
+"""Tests for the EM3D delayed-update protocol (paper Section 4)."""
+
+import pytest
+
+from repro.memory.tags import Tag
+from repro.protocols.em3d_update import (
+    KIND_E,
+    KIND_H,
+    PAGE_MODE_CUSTOM_HOME,
+    PAGE_MODE_CUSTOM_STACHE,
+    Em3dUpdateProtocol,
+)
+from repro.sim.config import MachineConfig
+from repro.sim.engine import SimulationError
+from repro.typhoon.system import TyphoonMachine
+
+
+def make_machine(nodes=2, seed=1):
+    machine = TyphoonMachine(MachineConfig(nodes=nodes, seed=seed))
+    protocol = Em3dUpdateProtocol()
+    machine.install_protocol(protocol)
+    e_region = machine.heap.allocate(nodes * 4096, label="e")
+    h_region = machine.heap.allocate(nodes * 4096, label="h")
+    protocol.setup_custom_region(e_region, KIND_E)
+    protocol.setup_custom_region(h_region, KIND_H)
+    return machine, protocol, e_region, h_region
+
+
+def run_workers(machine, worker):
+    machine.run_workers(worker)
+
+
+class TestSetup:
+    def test_custom_home_pages_mapped(self):
+        machine, protocol, e_region, _ = make_machine()
+        home = machine.heap.home_of(e_region.base)
+        entry = machine.nodes[home].tempest.page_entry(e_region.base)
+        assert entry.mode == PAGE_MODE_CUSTOM_HOME
+        assert entry.user_word.kind == KIND_E
+
+    def test_register_value_word(self):
+        machine, protocol, e_region, _ = make_machine()
+        addr = e_region.base + 8
+        protocol.register_value_word(addr)
+        home = machine.heap.home_of(addr)
+        page = machine.nodes[home].tempest.page_entry(addr)
+        block = machine.layout.block_of(addr)
+        assert page.user_word.value_addrs[block] == [addr]
+
+    def test_register_outside_custom_region_rejected(self):
+        machine, protocol, *_ = make_machine()
+        other = machine.heap.allocate(4096)
+        with pytest.raises(SimulationError):
+            protocol.register_value_word(other.base)
+
+
+class TestFetch:
+    def test_remote_read_creates_custom_stache_page_and_copy_list(self):
+        machine, protocol, e_region, _ = make_machine()
+        home = machine.heap.home_of(e_region.base)
+        remote = 1 - home
+        addr = e_region.base
+        machine.nodes[home].image.write(addr, 3.5)
+
+        def worker(node_id):
+            if node_id == remote:
+                value = yield from machine.nodes[node_id].access(addr, False)
+                assert value == 3.5
+            else:
+                yield 1
+
+        run_workers(machine, worker)
+        entry = machine.nodes[remote].tempest.page_entry(addr)
+        assert entry.mode == PAGE_MODE_CUSTOM_STACHE
+        block = machine.layout.block_of(addr)
+        assert protocol.copy_holders(home, block) == {remote}
+        assert protocol.stached_count(remote, KIND_E) == 1
+
+    def test_home_tag_stays_read_write_despite_copies(self):
+        """The deliberate single-writer violation: delayed consistency."""
+        machine, protocol, e_region, _ = make_machine()
+        home = machine.heap.home_of(e_region.base)
+        remote = 1 - home
+        addr = e_region.base
+
+        def worker(node_id):
+            if node_id == remote:
+                yield from machine.nodes[node_id].access(addr, False)
+            else:
+                yield 1
+
+        run_workers(machine, worker)
+        block = machine.layout.block_of(addr)
+        assert machine.nodes[home].tags.read_tag(block) is Tag.READ_WRITE
+        assert machine.nodes[remote].tags.read_tag(block) is Tag.READ_ONLY
+
+    def test_home_write_with_outstanding_copies_is_full_speed(self):
+        machine, protocol, e_region, _ = make_machine()
+        home = machine.heap.home_of(e_region.base)
+        remote = 1 - home
+        addr = e_region.base
+
+        def worker(node_id):
+            if node_id == remote:
+                yield from machine.nodes[node_id].access(addr, False)
+                yield machine.barrier.arrive(node_id)
+            else:
+                yield machine.barrier.arrive(node_id)
+                yield from machine.nodes[node_id].access(addr, True, 9)
+
+        before = machine.stats.get(f"node{home}.cpu.block_faults")
+        run_workers(machine, worker)
+        assert machine.stats.get(f"node{home}.cpu.block_faults") == before
+
+    def test_remote_write_rejected(self):
+        machine, protocol, e_region, _ = make_machine()
+        home = machine.heap.home_of(e_region.base)
+        remote = 1 - home
+        addr = e_region.base
+
+        def worker(node_id):
+            if node_id == remote:
+                yield from machine.nodes[node_id].access(addr, True, 1)
+            else:
+                yield 1
+
+        with pytest.raises(SimulationError, match="owners-compute"):
+            run_workers(machine, worker)
+
+
+class TestUpdateFlush:
+    def test_flush_sends_only_value_words(self):
+        machine, protocol, e_region, _ = make_machine()
+        home = machine.heap.home_of(e_region.base)
+        remote = 1 - home
+        value_addr = e_region.base  # the graph node's value field
+        other_addr = e_region.base + 8  # same block, not a value word
+        protocol.register_value_word(value_addr)
+        machine.nodes[home].image.write(value_addr, 1.0)
+        machine.nodes[home].image.write(other_addr, "weights")
+
+        def home_worker():
+            node = machine.nodes[home]
+            yield 600  # let the remote stache the block first
+            yield from node.access(value_addr, True, 2.0)
+            yield from node.access(other_addr, True, "new-weights")
+            yield from protocol.flush_and_wait(home, KIND_E, 0)
+
+        def remote_worker():
+            node = machine.nodes[remote]
+            yield from node.access(value_addr, False)
+            yield from protocol.flush_and_wait(remote, KIND_E, 0)
+            updated = yield from node.access(value_addr, False)
+            assert updated == 2.0
+            stale = yield from node.access(other_addr, False)
+            # Non-value words are NOT updated: delayed update ships only
+            # the value field (the paper: "only the value field is sent").
+            assert stale == "weights"
+
+        machine.run_workers(
+            lambda n: home_worker() if n == home else remote_worker()
+        )
+        assert machine.stats.get("em3d.updates_sent") == 1
+        assert machine.stats.get("em3d.updates_received") == 1
+
+    def test_no_acknowledgements_are_sent(self):
+        machine, protocol, e_region, _ = make_machine()
+        home = machine.heap.home_of(e_region.base)
+        remote = 1 - home
+        addr = e_region.base
+        protocol.register_value_word(addr)
+
+        def home_worker():
+            yield 600
+            yield from machine.nodes[home].access(addr, True, 1.5)
+            before = machine.stats.get("network.packets")
+            yield from protocol.flush_and_wait(home, KIND_E, 0)
+            yield 100  # drain
+            sent = machine.stats.get("network.packets") - before
+            assert sent == 1  # the update, nothing else
+
+        def remote_worker():
+            yield from machine.nodes[remote].access(addr, False)
+            yield from protocol.flush_and_wait(remote, KIND_E, 0)
+
+        machine.run_workers(
+            lambda n: home_worker() if n == home else remote_worker()
+        )
+
+    def test_waiter_blocks_until_all_updates_arrive(self):
+        machine, protocol, e_region, _ = make_machine(nodes=3)
+        # Three nodes; node picks: two homes send to one consumer.
+        addr0 = e_region.base              # homed on heap.home_of
+        home0 = machine.heap.home_of(addr0)
+        others = [n for n in range(3) if n != home0]
+        consumer = others[0]
+        # Find a page homed on the other node.
+        addr1 = None
+        for page in range(e_region.base, e_region.end, 4096):
+            if machine.heap.home_of(page) == others[1]:
+                addr1 = page
+                break
+        assert addr1 is not None
+        home1 = others[1]
+        protocol.register_value_word(addr0)
+        protocol.register_value_word(addr1)
+        release_time = {}
+
+        def worker(node_id):
+            node = machine.nodes[node_id]
+            if node_id == consumer:
+                yield from node.access(addr0, False)
+                yield from node.access(addr1, False)
+                yield from protocol.flush_and_wait(node_id, KIND_E, 0)
+                release_time["consumer"] = machine.engine.now
+            elif node_id == home0:
+                yield 200
+                yield from node.access(addr0, True, 1.0)
+                yield from protocol.flush_and_wait(node_id, KIND_E, 0)
+            else:
+                yield 2000  # this home is slow
+                yield from node.access(addr1, True, 2.0)
+                release_time["slow_flush"] = machine.engine.now
+                yield from protocol.flush_and_wait(node_id, KIND_E, 0)
+
+        machine.run_workers(worker)
+        assert release_time["consumer"] > release_time["slow_flush"]
+        assert protocol.stached_count(consumer, KIND_E) == 2
+
+
+class TestFuzzyBarrier:
+    def test_early_update_is_deferred_not_applied(self):
+        machine, protocol, e_region, h_region = make_machine()
+        home = machine.heap.home_of(e_region.base)
+        remote = 1 - home
+        e_addr = e_region.base
+        protocol.register_value_word(e_addr)
+        observed = {}
+
+        def home_worker():
+            node = machine.nodes[home]
+            yield 600  # the remote staches the (still zero) block first
+            # Step 0: write 1.0, flush, (no stached copies to wait for).
+            yield from node.access(e_addr, True, 1.0)
+            yield from protocol.flush_and_wait(home, KIND_E, 0)
+            yield from protocol.flush_and_wait(home, KIND_H, 0)
+            # Step 1: race ahead and flush an early e-update.
+            yield from node.access(e_addr, True, 2.0)
+            yield from protocol.flush_and_wait(home, KIND_E, 1)
+
+        def remote_worker():
+            node = machine.nodes[remote]
+            value = yield from node.access(e_addr, False)  # step 0 compute
+            yield from protocol.flush_and_wait(remote, KIND_E, 0)
+            # Simulate a long compute-H(0): the step-1 e-update arrives now
+            # and must NOT be applied until we pass the h-phase point.
+            yield 3000
+            mid = machine.nodes[remote].image.read(e_addr)
+            observed["during_compute_h"] = mid
+            yield from protocol.flush_and_wait(remote, KIND_H, 0)
+            after = machine.nodes[remote].image.read(e_addr)
+            observed["after_h_flush"] = after
+
+        machine.run_workers(
+            lambda n: home_worker() if n == home else remote_worker()
+        )
+        # During compute-H(0) the remote still sees the step-0 value.
+        assert observed["during_compute_h"] == 1.0
+        # Once compute-H(0) finished, the deferred step-1 update applied.
+        assert observed["after_h_flush"] == 2.0
+        assert machine.stats.get("em3d.updates_deferred") >= 1

@@ -1,0 +1,174 @@
+"""Tests for the migratory-sharing custom protocol."""
+
+import pytest
+
+from repro.memory.tags import Tag
+from repro.protocols.directory import DirectoryState
+from repro.protocols.migratory import MIGRATORY_THRESHOLD, MigratoryProtocol
+from repro.protocols.verify import check_stache_coherence
+from repro.sim.config import MachineConfig
+from repro.typhoon.system import TyphoonMachine
+from tests.protocols.conftest import run_script
+
+
+def make_machine(nodes=4, seed=1):
+    machine = TyphoonMachine(MachineConfig(nodes=nodes, seed=seed))
+    protocol = MigratoryProtocol()
+    machine.install_protocol(protocol)
+    region = machine.heap.allocate(4 * 4096, label="test")
+    protocol.setup_region(region)
+    return machine, protocol, region
+
+
+def addr_homed_on(machine, region, home):
+    for page in range(region.base, region.end, machine.layout.page_size):
+        if machine.heap.home_of(page) == home:
+            return page
+    raise AssertionError
+
+
+def migrate_rounds(machine, addr, nodes, rounds):
+    """Each node in turn reads then writes the datum (MP3D's pattern)."""
+    script = {n: [] for n in range(machine.num_nodes)}
+    for round_ in range(rounds):
+        for turn in nodes:
+            for node in range(machine.num_nodes):
+                if node == turn:
+                    script[node].append(("r", addr))
+                    script[node].append(("w", addr, (round_, turn)))
+                script[node].append(("b",))
+    return run_script(machine, script)
+
+
+class TestDetection:
+    def test_block_marked_after_threshold_upgrades(self):
+        machine, protocol, region = make_machine()
+        addr = addr_homed_on(machine, region, home=0)
+        migrate_rounds(machine, addr, nodes=[1, 2, 3], rounds=1)
+        block = machine.layout.block_of(addr)
+        assert protocol.is_migratory(0, block)
+        assert machine.stats.get("migratory.blocks_marked") == 1
+
+    def test_not_marked_below_threshold(self):
+        machine, protocol, region = make_machine()
+        addr = addr_homed_on(machine, region, home=0)
+        migrate_rounds(machine, addr, nodes=[1], rounds=1)  # one upgrade
+        assert MIGRATORY_THRESHOLD > 1
+        assert not protocol.is_migratory(0, machine.layout.block_of(addr))
+
+    def test_pure_read_sharing_never_marks(self):
+        machine, protocol, region = make_machine()
+        addr = addr_homed_on(machine, region, home=0)
+        run_script(machine, {n: [("r", addr)] for n in range(4)})
+        assert not protocol.is_migratory(0, machine.layout.block_of(addr))
+        assert machine.stats.get("migratory.exclusive_read_grants") == 0
+
+
+class TestExploitation:
+    def test_migratory_read_granted_exclusive(self):
+        machine, protocol, region = make_machine()
+        addr = addr_homed_on(machine, region, home=0)
+        migrate_rounds(machine, addr, nodes=[1, 2, 3, 1], rounds=1)
+        block = machine.layout.block_of(addr)
+        # The fourth migration happened after marking: its read got RW.
+        assert machine.stats.get("migratory.exclusive_read_grants") >= 1
+        assert machine.nodes[1].tags.read_tag(block) is Tag.READ_WRITE
+        check_stache_coherence(machine, region)
+
+    def test_optimization_halves_transactions(self):
+        def run(protocol_cls):
+            machine = TyphoonMachine(MachineConfig(nodes=4, seed=1))
+            protocol = protocol_cls()
+            machine.install_protocol(protocol)
+            region = machine.heap.allocate(4 * 4096, label="test")
+            protocol.setup_region(region)
+            addr = addr_homed_on(machine, region, home=0)
+            migrate_rounds(machine, addr, nodes=[1, 2, 3], rounds=4)
+            faults = machine.stats.total(".cpu.block_faults")
+            return machine.execution_time, faults
+
+        from repro.protocols.stache import StacheProtocol
+
+        plain_time, plain_faults = run(StacheProtocol)
+        mig_time, mig_faults = run(MigratoryProtocol)
+        # After detection, each migration faults once (read) not twice
+        # (read + upgrade).
+        assert mig_faults < plain_faults
+        assert mig_time < plain_time
+
+    def test_values_stay_correct(self):
+        machine, protocol, region = make_machine()
+        addr = addr_homed_on(machine, region, home=0)
+        reads = migrate_rounds(machine, addr, nodes=[1, 2, 3], rounds=3)
+        # Every node's read observed the previous writer's value: node 2
+        # always reads node 1's fresh write, node 3 reads node 2's, and
+        # node 1 reads node 3's from the previous round.
+        assert reads[2] == [(0, 1), (1, 1), (2, 1)]
+        assert reads[3] == [(0, 2), (1, 2), (2, 2)]
+        assert reads[1] == [0, (0, 3), (1, 3)]
+        check_stache_coherence(machine, region)
+
+
+class TestSelfCorrection:
+    def test_misprediction_reverts_block(self):
+        machine, protocol, region = make_machine()
+        addr = addr_homed_on(machine, region, home=0)
+        block = machine.layout.block_of(addr)
+        # Phase 1: genuine migration marks the block.
+        migrate_rounds(machine, addr, nodes=[1, 2, 3], rounds=1)
+        assert protocol.is_migratory(0, block)
+        # Phase 2: the pattern becomes read-only sharing.  Node 1 reads
+        # (gets an unverified exclusive grant, never writes), then node 2
+        # reads — recalling node 1's copy clean.
+        script = {
+            1: [("r", addr), ("b",)],
+            2: [("b",), ("r", addr)],
+            0: [("b",)],
+            3: [("b",)],
+        }
+        run_script(machine, script)
+        assert machine.stats.get("migratory.mispredictions") == 1
+        assert not protocol.is_migratory(0, block)
+        check_stache_coherence(machine, region)
+
+    def test_after_reversion_reads_share_again(self):
+        machine, protocol, region = make_machine()
+        addr = addr_homed_on(machine, region, home=0)
+        block = machine.layout.block_of(addr)
+        migrate_rounds(machine, addr, nodes=[1, 2, 3], rounds=1)
+        # Trigger the misprediction, then have two nodes read.
+        script = {
+            1: [("r", addr), ("b",), ("b",)],
+            2: [("b",), ("r", addr), ("b",)],
+            3: [("b",), ("b",), ("r", addr)],
+            0: [("b",), ("b",)],
+        }
+        run_script(machine, script)
+        entry = machine.nodes[0].tempest.page_entry(addr).user_word[block]
+        # Normal read sharing restored: multiple simultaneous readers.
+        assert entry.state is DirectoryState.SHARED
+        assert entry.sharer_count >= 2
+        check_stache_coherence(machine, region)
+
+
+class TestMp3dEndToEnd:
+    def test_mp3d_benefits_from_migratory_protocol(self):
+        from repro.apps.base import run_app
+        from repro.apps.mp3d import Mp3dApplication
+
+        def run(protocol_cls):
+            machine = TyphoonMachine(
+                MachineConfig(nodes=4, seed=2).with_cache_size(2048))
+            protocol = protocol_cls()
+            machine.install_protocol(protocol)
+            app = Mp3dApplication(molecules=96, space_cells=8,
+                                  iterations=4, seed=2)
+            time = run_app(machine, app, protocol)
+            return time, machine
+
+        from repro.protocols.stache import StacheProtocol
+
+        plain_time, _ = run(StacheProtocol)
+        mig_time, machine = run(MigratoryProtocol)
+        assert machine.stats.get("migratory.blocks_marked") > 0
+        assert mig_time < plain_time

@@ -1,0 +1,312 @@
+"""End-to-end tests of the Stache protocol (paper Section 3)."""
+
+import pytest
+
+from repro.memory.tags import Tag
+from repro.protocols.directory import DirectoryState
+from repro.protocols.stache import PAGE_MODE_HOME, PAGE_MODE_STACHE
+from repro.protocols.verify import check_stache_coherence
+from tests.protocols.conftest import make_stache_machine, run_script
+
+
+def home_block_entry(machine, block):
+    home = machine.heap.home_of(block)
+    page = machine.nodes[home].tempest.page_entry(block)
+    return page.user_word.get(block)
+
+
+def addr_homed_on(machine, region, home, offset=0):
+    """An address inside the region whose page is homed on ``home``."""
+    for page in range(region.base, region.end, machine.layout.page_size):
+        if machine.heap.home_of(page) == home:
+            return page + offset
+    raise AssertionError(f"no page homed on {home}")
+
+
+class TestRemoteRead:
+    def test_first_remote_read_fetches_block(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        machine.nodes[0].image.write(addr, 123)  # init at home
+        reads = run_script(machine, {1: [("r", addr)]})
+        assert reads[1] == [123]
+        assert machine.stats.get("stache.blocks_fetched") == 1
+        assert machine.stats.get("node1.cpu.page_faults") == 1
+        assert machine.stats.get("node1.cpu.block_faults") == 1
+
+    def test_tags_after_remote_read(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        run_script(machine, {1: [("r", addr)]})
+        block = machine.layout.block_of(addr)
+        assert machine.nodes[1].tags.read_tag(block) is Tag.READ_ONLY
+        assert machine.nodes[0].tags.read_tag(block) is Tag.READ_ONLY
+        entry = home_block_entry(machine, block)
+        assert entry.state is DirectoryState.SHARED
+        assert entry.sharers() == {1}
+
+    def test_stache_page_mode_and_home(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=2)
+        run_script(machine, {1: [("r", addr)]})
+        entry = machine.nodes[1].tempest.page_entry(addr)
+        assert entry.mode == PAGE_MODE_STACHE
+        assert entry.home == 2
+
+    def test_second_read_same_block_is_pure_hardware(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        run_script(machine, {1: [("r", addr), ("r", addr)]})
+        # One page fault, one block fault: the second read hits the cache.
+        assert machine.stats.get("node1.cpu.block_faults") == 1
+        assert machine.stats.get("node1.cpu.page_faults") == 1
+
+    def test_read_of_second_block_on_stached_page_skips_page_fault(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        run_script(machine, {1: [("r", addr), ("r", addr + 64)]})
+        assert machine.stats.get("node1.cpu.page_faults") == 1
+        assert machine.stats.get("node1.cpu.block_faults") == 2
+
+    def test_multiple_readers_share(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        machine.nodes[0].image.write(addr, 7)
+        reads = run_script(machine, {1: [("r", addr)], 2: [("r", addr)],
+                                     3: [("r", addr)]})
+        assert reads[1] == reads[2] == reads[3] == [7]
+        entry = home_block_entry(machine, machine.layout.block_of(addr))
+        assert entry.sharers() == {1, 2, 3}
+        check_stache_coherence(machine, region)
+
+
+class TestRemoteWrite:
+    def test_remote_write_takes_exclusive_ownership(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        run_script(machine, {1: [("w", addr, 55)]})
+        block = machine.layout.block_of(addr)
+        assert machine.nodes[1].tags.read_tag(block) is Tag.READ_WRITE
+        assert machine.nodes[0].tags.read_tag(block) is Tag.INVALID
+        entry = home_block_entry(machine, block)
+        assert entry.state is DirectoryState.EXCLUSIVE
+        assert entry.owner == 1
+        assert machine.nodes[1].image.read(addr) == 55
+        check_stache_coherence(machine, region)
+
+    def test_write_invalidates_all_sharers(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        script = {
+            1: [("r", addr), ("b",)],
+            2: [("r", addr), ("b",)],
+            3: [("b",), ("w", addr, 9)],
+            0: [("b",)],
+        }
+        run_script(machine, script)
+        block = machine.layout.block_of(addr)
+        assert machine.nodes[1].tags.read_tag(block) is Tag.INVALID
+        assert machine.nodes[2].tags.read_tag(block) is Tag.INVALID
+        assert machine.nodes[3].tags.read_tag(block) is Tag.READ_WRITE
+        assert machine.stats.get("stache.invalidations_sent") == 2
+        check_stache_coherence(machine, region)
+
+    def test_read_after_remote_write_gets_fresh_data(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        script = {
+            1: [("w", addr, 42), ("b",)],
+            2: [("b",), ("r", addr)],
+            0: [("b",)],
+            3: [("b",)],
+        }
+        reads = run_script(machine, script)
+        assert reads[2] == [42]
+        # The writeback demoted node 1 to a read-only sharer.
+        block = machine.layout.block_of(addr)
+        entry = home_block_entry(machine, block)
+        assert entry.state is DirectoryState.SHARED
+        assert entry.sharers() == {1, 2}
+        assert machine.nodes[1].tags.read_tag(block) is Tag.READ_ONLY
+        check_stache_coherence(machine, region)
+
+    def test_upgrade_from_read_only(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        reads = run_script(machine, {1: [("r", addr), ("w", addr, 5),
+                                         ("r", addr)]})
+        assert reads[1] == [0, 5]
+        entry = home_block_entry(machine, machine.layout.block_of(addr))
+        assert entry.state is DirectoryState.EXCLUSIVE
+        assert entry.owner == 1
+        check_stache_coherence(machine, region)
+
+
+class TestHomeFaults:
+    def test_home_read_of_remote_exclusive_block(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        script = {
+            1: [("w", addr, 11), ("b",)],
+            0: [("b",), ("r", addr)],
+            2: [("b",)],
+            3: [("b",)],
+        }
+        reads = run_script(machine, script)
+        assert reads[0] == [11]
+        block = machine.layout.block_of(addr)
+        entry = home_block_entry(machine, block)
+        assert entry.state is DirectoryState.SHARED
+        assert entry.sharers() == {1}
+        assert machine.nodes[0].tags.read_tag(block) is Tag.READ_ONLY
+        check_stache_coherence(machine, region)
+
+    def test_home_write_reclaims_block(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        script = {
+            1: [("w", addr, 11), ("b",)],
+            0: [("b",), ("w", addr, 22)],
+            2: [("b",)],
+            3: [("b",)],
+        }
+        run_script(machine, script)
+        block = machine.layout.block_of(addr)
+        entry = home_block_entry(machine, block)
+        assert entry.state is DirectoryState.HOME
+        assert machine.nodes[0].tags.read_tag(block) is Tag.READ_WRITE
+        assert machine.nodes[1].tags.read_tag(block) is Tag.INVALID
+        assert machine.nodes[0].image.read(addr) == 22
+        check_stache_coherence(machine, region)
+
+    def test_home_access_before_any_sharing_needs_no_protocol(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        run_script(machine, {0: [("w", addr, 1), ("r", addr)]})
+        assert machine.stats.get("node0.cpu.block_faults") == 0
+        assert machine.stats.get("network.packets") == 0
+
+
+class TestPageReplacement:
+    def test_fifo_replacement_writes_dirty_data_home(self):
+        machine, protocol, region = make_stache_machine(
+            nodes=2, shared_bytes=4 * 4096, stache_page_budget=1
+        )
+        # Two different remote pages homed on node 0.
+        pages = [
+            page for page in range(region.base, region.end, 4096)
+            if machine.heap.home_of(page) == 0
+        ]
+        addr_a, addr_b = pages[0], pages[1]
+        script = {
+            1: [("w", addr_a, 77), ("r", addr_b)],
+        }
+        run_script(machine, script)
+        # addr_a's page was replaced to make room for addr_b's page.
+        assert machine.stats.get("stache.pages_replaced") == 1
+        assert not machine.nodes[1].page_table.is_mapped(addr_a)
+        # The dirty block went home.
+        assert machine.nodes[0].image.read(addr_a) == 77
+        entry = home_block_entry(machine, machine.layout.block_of(addr_a))
+        assert entry.state is DirectoryState.HOME
+        check_stache_coherence(machine, region)
+
+    def test_replaced_data_survives_round_trip(self):
+        machine, protocol, region = make_stache_machine(
+            nodes=2, shared_bytes=4 * 4096, stache_page_budget=1
+        )
+        pages = [
+            page for page in range(region.base, region.end, 4096)
+            if machine.heap.home_of(page) == 0
+        ]
+        addr_a, addr_b = pages[0], pages[1]
+        reads = run_script(machine, {
+            1: [("w", addr_a, 5), ("r", addr_b), ("r", addr_a)],
+        })
+        # Reading addr_a again replaces addr_b's page and refetches.
+        assert reads[1][-1] == 5
+        assert machine.stats.get("stache.pages_replaced") == 2
+        check_stache_coherence(machine, region)
+
+    def test_clean_pages_replaced_silently(self):
+        machine, protocol, region = make_stache_machine(
+            nodes=2, shared_bytes=4 * 4096, stache_page_budget=1
+        )
+        pages = [
+            page for page in range(region.base, region.end, 4096)
+            if machine.heap.home_of(page) == 0
+        ]
+        addr_a, addr_b = pages[0], pages[1]
+        run_script(machine, {1: [("r", addr_a), ("r", addr_b)]})
+        assert machine.stats.get("stache.pages_replaced") == 1
+        assert machine.stats.get("stache.replacement_writebacks") == 0
+        # The directory still lists node 1 as a (stale) sharer: silent drop.
+        entry = home_block_entry(machine, machine.layout.block_of(addr_a))
+        assert entry.sharers() == {1}
+        check_stache_coherence(machine, region)
+
+    def test_invalidation_of_departed_sharer_is_acked(self):
+        machine, protocol, region = make_stache_machine(
+            nodes=3, shared_bytes=6 * 4096, stache_page_budget=1
+        )
+        pages = [
+            page for page in range(region.base, region.end, 4096)
+            if machine.heap.home_of(page) == 0
+        ]
+        addr_a, addr_b = pages[0], pages[1]
+        script = {
+            1: [("r", addr_a), ("r", addr_b), ("b",)],  # drops a silently
+            2: [("b",), ("w", addr_a, 3)],              # invalidates stale sharer
+            0: [("b",)],
+        }
+        run_script(machine, script)
+        entry = home_block_entry(machine, machine.layout.block_of(addr_a))
+        assert entry.state is DirectoryState.EXCLUSIVE
+        assert entry.owner == 2
+        check_stache_coherence(machine, region)
+
+
+class TestContention:
+    def test_simultaneous_writers_serialize(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        run_script(machine, {
+            1: [("w", addr, 1)],
+            2: [("w", addr, 2)],
+            3: [("w", addr, 3)],
+        })
+        block = machine.layout.block_of(addr)
+        entry = home_block_entry(machine, block)
+        assert entry.state is DirectoryState.EXCLUSIVE
+        # Exactly one final owner; its image holds its own value.
+        owner = entry.owner
+        assert owner in (1, 2, 3)
+        assert machine.nodes[owner].image.read(addr) == owner
+        check_stache_coherence(machine, region)
+
+    def test_readers_racing_a_writer(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        reads = run_script(machine, {
+            1: [("r", addr)],
+            2: [("w", addr, 99)],
+            3: [("r", addr)],
+        })
+        # Every read observes either the initial 0 or the new 99.
+        for value in reads[1] + reads[3]:
+            assert value in (0, 99)
+        check_stache_coherence(machine, region)
+
+
+class TestExecutionTimeShape:
+    def test_remote_miss_costs_more_than_local_hit_path(self, stache4):
+        machine, protocol, region = stache4
+        addr = addr_homed_on(machine, region, home=0)
+        finish = run_script(machine, {1: [("r", addr)]})
+        remote_cost = machine.execution_time
+        machine2, protocol2, region2 = make_stache_machine(nodes=4)
+        addr2 = addr_homed_on(machine2, region2, home=0)
+        run_script(machine2, {0: [("r", addr2)]})
+        home_cost = machine2.execution_time
+        assert remote_cost > home_cost
+        assert finish  # per-node times recorded

@@ -1,0 +1,139 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(30, fired.append, "c")
+    engine.schedule(10, fired.append, "a")
+    engine.schedule(20, fired.append, "b")
+    engine.run()
+    assert fired == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_same_cycle_events_fire_fifo():
+    engine = Engine()
+    fired = []
+    for tag in range(5):
+        engine.schedule(7, fired.append, tag)
+    engine.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_zero_delay_event_fires_at_current_time():
+    engine = Engine()
+    times = []
+    engine.schedule(5, lambda: engine.schedule(0, lambda: times.append(engine.now)))
+    engine.run()
+    assert times == [5]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(5, lambda: None)
+
+
+def test_run_until_stops_clock_at_bound():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, fired.append, "early")
+    engine.schedule(100, fired.append, "late")
+    engine.run(until=50)
+    assert fired == ["early"]
+    assert engine.now == 50
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_with_empty_queue():
+    engine = Engine()
+    engine.run(until=99)
+    assert engine.now == 99
+
+
+def test_max_events_bounds_execution():
+    engine = Engine()
+    count = [0]
+
+    def reschedule():
+        count[0] += 1
+        engine.schedule(1, reschedule)
+
+    engine.schedule(0, reschedule)
+    engine.run(max_events=10)
+    assert count[0] == 10
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(10, fired.append, "cancelled")
+    engine.schedule(5, fired.append, "kept")
+    event.cancel()
+    engine.run()
+    assert fired == ["kept"]
+
+
+def test_pending_excludes_cancelled():
+    engine = Engine()
+    keep = engine.schedule(10, lambda: None)
+    drop = engine.schedule(10, lambda: None)
+    drop.cancel()
+    assert engine.pending == 1
+    assert keep is not None
+
+
+def test_events_fired_counter():
+    engine = Engine()
+    for _ in range(4):
+        engine.schedule(1, lambda: None)
+    engine.run()
+    assert engine.events_fired == 4
+
+
+def test_step_returns_false_when_empty():
+    engine = Engine()
+    assert engine.step() is False
+    engine.schedule(3, lambda: None)
+    assert engine.step() is True
+    assert engine.now == 3
+
+
+def test_engine_not_reentrant():
+    engine = Engine()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    engine.schedule(1, nested)
+    engine.run()
+
+
+def test_exception_in_event_propagates():
+    engine = Engine()
+
+    def boom():
+        raise ValueError("boom")
+
+    engine.schedule(1, boom)
+    with pytest.raises(ValueError):
+        engine.run()

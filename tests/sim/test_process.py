@@ -1,0 +1,252 @@
+"""Tests for processes and futures."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.process import Future, Process, ProcessKilled, all_of
+
+
+def test_future_resolve_and_value():
+    engine = Engine()
+    future = Future(engine)
+    assert not future.done
+    future.resolve(17)
+    assert future.done
+    assert future.value == 17
+
+
+def test_future_value_before_resolve_raises():
+    future = Future(Engine())
+    with pytest.raises(SimulationError):
+        _ = future.value
+
+
+def test_future_double_resolve_raises():
+    future = Future(Engine())
+    future.resolve(1)
+    with pytest.raises(SimulationError):
+        future.resolve(2)
+
+
+def test_future_callback_fires_as_event():
+    engine = Engine()
+    future = Future(engine)
+    seen = []
+    future.add_callback(seen.append)
+    future.resolve("x")
+    assert seen == []  # not synchronous
+    engine.run()
+    assert seen == ["x"]
+
+
+def test_future_callback_after_resolution():
+    engine = Engine()
+    future = Future.resolved(engine, 5)
+    seen = []
+    future.add_callback(seen.append)
+    engine.run()
+    assert seen == [5]
+
+
+def test_all_of_collects_values_in_order():
+    engine = Engine()
+    futures = [Future(engine) for _ in range(3)]
+    combined = all_of(engine, futures)
+    futures[2].resolve("c")
+    futures[0].resolve("a")
+    futures[1].resolve("b")
+    engine.run()
+    assert combined.value == ["a", "b", "c"]
+
+
+def test_all_of_empty_resolves_immediately():
+    engine = Engine()
+    combined = all_of(engine, [])
+    assert combined.done
+    assert combined.value == []
+
+
+def test_process_waits_for_delays():
+    engine = Engine()
+    trace = []
+
+    def body():
+        trace.append(engine.now)
+        yield 10
+        trace.append(engine.now)
+        yield 5
+        trace.append(engine.now)
+
+    Process(engine, body())
+    engine.run()
+    assert trace == [0, 10, 15]
+
+
+def test_process_zero_delay_continues_inline():
+    engine = Engine()
+    trace = []
+
+    def body():
+        yield 0
+        trace.append(engine.now)
+
+    Process(engine, body())
+    engine.run()
+    assert trace == [0]
+
+
+def test_process_blocks_on_future_and_receives_value():
+    engine = Engine()
+    future = Future(engine)
+    got = []
+
+    def body():
+        value = yield future
+        got.append(value)
+
+    Process(engine, body())
+    engine.schedule(20, future.resolve, "payload")
+    engine.run()
+    assert got == ["payload"]
+
+
+def test_process_resolved_future_does_not_block():
+    engine = Engine()
+    got = []
+
+    def body():
+        value = yield Future.resolved(engine, 9)
+        got.append((value, engine.now))
+
+    Process(engine, body())
+    engine.run()
+    assert got == [(9, 0)]
+
+
+def test_process_finished_future_carries_return_value():
+    engine = Engine()
+
+    def body():
+        yield 1
+        return "result"
+
+    process = Process(engine, body())
+    engine.run()
+    assert process.finished.value == "result"
+    assert not process.alive
+
+
+def test_subgenerator_runs_inline_and_returns():
+    engine = Engine()
+    trace = []
+
+    def sub():
+        yield 3
+        return "from-sub"
+
+    def body():
+        value = yield sub()
+        trace.append((value, engine.now))
+
+    Process(engine, body())
+    engine.run()
+    assert trace == [("from-sub", 3)]
+
+
+def test_nested_subgenerators():
+    engine = Engine()
+
+    def inner():
+        yield 1
+        return 1
+
+    def middle():
+        a = yield inner()
+        yield 1
+        return a + 1
+
+    def body():
+        b = yield middle()
+        return b + 1
+
+    process = Process(engine, body())
+    engine.run()
+    assert process.finished.value == 3
+    assert engine.now == 2
+
+
+def test_negative_yield_rejected():
+    engine = Engine()
+
+    def body():
+        yield -5
+
+    Process(engine, body())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_unsupported_yield_rejected():
+    engine = Engine()
+
+    def body():
+        yield "nonsense"
+
+    Process(engine, body())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_kill_terminates_process():
+    engine = Engine()
+    cleaned = []
+
+    def body():
+        try:
+            yield 100
+        except ProcessKilled:
+            cleaned.append(True)
+            raise
+
+    process = Process(engine, body())
+    engine.schedule(10, process.kill)
+    # The kill flag is checked at the next resumption.
+    engine.run()
+    assert process.finished.done
+    assert cleaned == [True]
+
+
+def test_two_processes_interleave_deterministically():
+    engine = Engine()
+    trace = []
+
+    def body(name, period):
+        for _ in range(3):
+            yield period
+            trace.append((name, engine.now))
+
+    Process(engine, body("a", 2))
+    Process(engine, body("b", 3))
+    engine.run()
+    # At cycle 6 both resume; b's resume event was scheduled at cycle 3,
+    # a's at cycle 4, so FIFO tie-breaking runs b first.
+    assert trace == [
+        ("a", 2),
+        ("b", 3),
+        ("a", 4),
+        ("b", 6),
+        ("a", 6),
+        ("b", 9),
+    ]
+
+
+def test_exception_in_process_propagates():
+    engine = Engine()
+
+    def body():
+        yield 1
+        raise RuntimeError("app bug")
+
+    Process(engine, body())
+    with pytest.raises(RuntimeError, match="app bug"):
+        engine.run()

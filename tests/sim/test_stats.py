@@ -1,0 +1,94 @@
+"""Tests for the statistics registry."""
+
+from repro.sim.stats import Distribution, Stats
+
+
+def test_incr_accumulates():
+    stats = Stats()
+    stats.incr("x")
+    stats.incr("x", 4)
+    assert stats.get("x") == 5
+
+
+def test_get_default():
+    assert Stats().get("missing") == 0
+    assert Stats().get("missing", -1) == -1
+
+
+def test_set_max_keeps_largest():
+    stats = Stats()
+    stats.set_max("peak", 3)
+    stats.set_max("peak", 10)
+    stats.set_max("peak", 7)
+    assert stats.get("peak") == 10
+
+
+def test_counters_prefix_filter():
+    stats = Stats()
+    stats.incr("node0.cache.misses")
+    stats.incr("node1.cache.misses")
+    stats.incr("network.packets")
+    assert set(stats.counters("node")) == {
+        "node0.cache.misses",
+        "node1.cache.misses",
+    }
+
+
+def test_total_suffix_aggregation():
+    stats = Stats()
+    stats.incr("node0.cache.misses", 3)
+    stats.incr("node1.cache.misses", 4)
+    stats.incr("node1.cache.hits", 100)
+    assert stats.total(".cache.misses") == 7
+
+
+def test_distribution_statistics():
+    dist = Distribution()
+    for value in (2, 4, 9):
+        dist.add(value)
+    assert dist.count == 3
+    assert dist.total == 15
+    assert dist.mean == 5
+    assert dist.minimum == 2
+    assert dist.maximum == 9
+
+
+def test_empty_distribution_mean_is_zero():
+    assert Distribution().mean == 0
+
+
+def test_sample_creates_distribution():
+    stats = Stats()
+    stats.sample("latency", 10)
+    stats.sample("latency", 20)
+    assert stats.distribution("latency").mean == 15
+
+
+def test_merge_combines_counters_and_distributions():
+    a = Stats()
+    b = Stats()
+    a.incr("n", 1)
+    b.incr("n", 2)
+    a.sample("d", 1)
+    b.sample("d", 3)
+    a.merge(b)
+    assert a.get("n") == 3
+    assert a.distribution("d").count == 2
+    assert a.distribution("d").mean == 2
+
+
+def test_as_dict_flattens_distributions():
+    stats = Stats()
+    stats.incr("c", 2)
+    stats.sample("d", 4)
+    flat = stats.as_dict()
+    assert flat["c"] == 2
+    assert flat["d.mean"] == 4
+    assert flat["d.count"] == 1
+
+
+def test_iteration_is_sorted():
+    stats = Stats()
+    stats.incr("b")
+    stats.incr("a")
+    assert [name for name, _ in stats] == ["a", "b"]

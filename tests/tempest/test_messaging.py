@@ -1,0 +1,41 @@
+"""Tests for the handler registry."""
+
+import pytest
+
+from repro.tempest.messaging import HandlerError, HandlerRegistry, HandlerSpec
+
+
+def test_register_and_lookup():
+    registry = HandlerRegistry(node=1)
+    fn = lambda tempest, msg: None
+    registry.register("h", fn, instructions=14)
+    spec = registry.lookup("h")
+    assert spec.fn is fn
+    assert spec.instructions == 14
+
+
+def test_duplicate_registration_rejected():
+    registry = HandlerRegistry()
+    registry.register("h", lambda *a: None, 1)
+    with pytest.raises(HandlerError):
+        registry.register("h", lambda *a: None, 2)
+
+
+def test_unknown_handler_rejected():
+    with pytest.raises(HandlerError):
+        HandlerRegistry().lookup("missing")
+
+
+def test_negative_instruction_count_rejected():
+    with pytest.raises(HandlerError):
+        HandlerSpec("h", lambda: None, instructions=-1)
+
+
+def test_contains_and_names():
+    registry = HandlerRegistry()
+    registry.register("b", lambda *a: None, 0)
+    registry.register("a", lambda *a: None, 0)
+    assert "a" in registry
+    assert "c" not in registry
+    assert registry.names() == ["a", "b"]
+    assert len(registry) == 2

@@ -1,0 +1,56 @@
+"""Tests for computation-thread suspend/resume."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.process import Process
+from repro.tempest.threads import ComputationThread
+
+
+def test_suspend_then_resume_delivers_value():
+    engine = Engine()
+    thread = ComputationThread(engine, node=0)
+    seen = []
+
+    def worker():
+        value = yield thread.suspend()
+        seen.append((value, engine.now))
+
+    Process(engine, worker())
+    engine.schedule(40, thread.resume, "go")
+    engine.run()
+    assert seen == [("go", 40)]
+    assert thread.suspensions == 1
+    assert thread.resumes == 1
+
+
+def test_double_suspend_rejected():
+    thread = ComputationThread(Engine())
+    thread.suspend()
+    with pytest.raises(SimulationError):
+        thread.suspend()
+
+
+def test_resume_without_suspend_rejected():
+    with pytest.raises(SimulationError):
+        ComputationThread(Engine()).resume()
+
+
+def test_suspended_flag_tracks_state():
+    engine = Engine()
+    thread = ComputationThread(engine)
+    assert not thread.suspended
+    thread.suspend()
+    assert thread.suspended
+    thread.resume()
+    assert not thread.suspended
+
+
+def test_thread_can_suspend_repeatedly():
+    engine = Engine()
+    thread = ComputationThread(engine)
+    for _ in range(3):
+        future = thread.suspend()
+        thread.resume()
+        assert future.done
+    assert thread.suspensions == 3

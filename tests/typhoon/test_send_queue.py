@@ -1,0 +1,110 @@
+"""Tests for the finite send queues and overflow buffer (Section 5.1)."""
+
+import pytest
+
+from repro.network.message import VirtualNetwork
+from repro.sim.config import MachineConfig, TyphoonCosts
+from repro.typhoon.system import TyphoonMachine
+
+
+def make_machine(depth=4, nodes=2):
+    config = MachineConfig(
+        nodes=nodes, seed=1,
+        typhoon=TyphoonCosts(send_queue_depth=depth),
+    )
+    return TyphoonMachine(config)
+
+
+def test_burst_beyond_depth_overflows_and_still_delivers():
+    machine = make_machine(depth=4)
+    received = []
+    machine.tempests[1].register_handler(
+        "sink", lambda t, m: received.append(m.payload["index"]),
+        instructions=1,
+    )
+    for index in range(20):
+        machine.tempests[0].send(1, "sink", index=index)
+    machine.engine.run()
+    assert received == list(range(20))  # all delivered, FIFO order
+    assert machine.stats.get("node0.np.sends_overflowed") == 16
+    assert machine.stats.get("node0.np.overflow_peak") == 16
+
+
+def test_no_overflow_below_depth():
+    machine = make_machine(depth=8)
+    machine.tempests[1].register_handler("sink", lambda t, m: None, 1)
+    for _ in range(8):
+        machine.tempests[0].send(1, "sink")
+    machine.engine.run()
+    assert machine.stats.get("node0.np.sends_overflowed") == 0
+
+
+def test_virtual_networks_have_independent_queues():
+    machine = make_machine(depth=2)
+    machine.tempests[1].register_handler("sink", lambda t, m: None, 1)
+    # Fill the request queue; the response queue must still accept.
+    for _ in range(2):
+        machine.tempests[0].send(1, "sink", vnet=VirtualNetwork.REQUEST)
+    machine.tempests[0].send(1, "sink", vnet=VirtualNetwork.RESPONSE)
+    assert machine.stats.get("node0.np.sends_overflowed") == 0
+    machine.tempests[0].send(1, "sink", vnet=VirtualNetwork.REQUEST)
+    assert machine.stats.get("node0.np.sends_overflowed") == 1
+    machine.engine.run()
+
+
+def test_handler_bursts_never_block_handler_completion():
+    """A handler can emit any number of sends and still run to completion
+    (the guarantee the overflow buffer exists to provide)."""
+    machine = make_machine(depth=2, nodes=3)
+    received = []
+
+    def fan_out(tempest, message):
+        for index in range(12):
+            tempest.send(2, "sink", index=index)
+
+    machine.tempests[1].register_handler("fan", fan_out, instructions=5)
+    machine.tempests[2].register_handler(
+        "sink", lambda t, m: received.append(m.payload["index"]),
+        instructions=1,
+    )
+    machine.tempests[0].send(1, "fan")
+    machine.engine.run()
+    assert received == list(range(12))
+
+
+def test_overflow_drain_is_paced():
+    machine = make_machine(depth=1)
+    times = []
+    machine.tempests[1].register_handler(
+        "sink", lambda t, m: times.append(machine.engine.now), instructions=0,
+    )
+    for _ in range(3):
+        machine.tempests[0].send(1, "sink")
+    machine.engine.run()
+    # Drains wait for a credit (a delivery) plus the drain cost, so the
+    # messages arrive strictly spaced out.
+    assert times[1] > times[0]
+    assert times[2] > times[1]
+
+
+def test_protocol_traffic_survives_tiny_queues():
+    """Stache stays correct (if slower) with pathological queue depths."""
+    from repro.apps.base import run_app
+    from repro.apps.ocean import OceanApplication
+    from repro.protocols.stache import StacheProtocol
+
+    machine = TyphoonMachine(MachineConfig(
+        nodes=4, seed=1, typhoon=TyphoonCosts(send_queue_depth=1),
+    ))
+    protocol = StacheProtocol()
+    machine.install_protocol(protocol)
+    app = OceanApplication(grid=10, iterations=1, seed=3)
+    run_app(machine, app, protocol)
+    import math
+    ref = app.reference_values()
+    which = app.final_grid_index()
+    for row in range(app.grid):
+        for col in range(app.grid):
+            got = app.peek(machine, app.cell_addr(which, row, col))
+            assert math.isclose(got, ref[row][col], rel_tol=1e-9,
+                                abs_tol=1e-9)

@@ -1,0 +1,66 @@
+"""TLB shoot-down on unmap/remap (translation hardware consistency)."""
+
+import pytest
+
+from repro.memory.address import SHARED_BASE
+from repro.memory.tags import Tag
+from repro.sim.config import MachineConfig
+from repro.sim.process import Process
+from repro.typhoon.system import TyphoonMachine
+
+
+@pytest.fixture
+def machine():
+    return TyphoonMachine(MachineConfig(nodes=1, seed=2))
+
+
+def run_access(machine, addr, is_write=False, value=None):
+    start = machine.engine.now
+    process = Process(machine.engine,
+                      machine.nodes[0].access(addr, is_write, value))
+    machine.engine.run()
+    return process.finished.value, machine.engine.now - start
+
+
+def test_unmap_evicts_cpu_tlb_entry(machine):
+    node = machine.nodes[0]
+    tempest = node.tempest
+    tempest.map_page(SHARED_BASE, mode=0, home=0, initial_tag=Tag.READ_WRITE)
+    run_access(machine, SHARED_BASE)  # installs the TLB entry
+    page = machine.layout.page_number(SHARED_BASE)
+    assert page in node.cpu_tlb
+    tempest.unmap_page(SHARED_BASE)
+    assert page not in node.cpu_tlb
+
+
+def test_remap_evicts_old_translation_and_new_access_pays_tlb_miss(machine):
+    node = machine.nodes[0]
+    tempest = node.tempest
+    tempest.map_page(SHARED_BASE, mode=0, home=0, initial_tag=Tag.READ_WRITE)
+    run_access(machine, SHARED_BASE)
+    new_vaddr = SHARED_BASE + 8 * 4096
+    tempest.remap_page(SHARED_BASE, new_vaddr, initial_tag=Tag.READ_WRITE)
+    assert machine.layout.page_number(SHARED_BASE) not in node.cpu_tlb
+    before = node.cpu_tlb.misses
+    run_access(machine, new_vaddr)
+    assert node.cpu_tlb.misses == before + 1
+
+
+def test_remap_shoots_down_rtlb(machine):
+    node = machine.nodes[0]
+    tempest = node.tempest
+    tempest.map_page(SHARED_BASE, mode=0, home=0, initial_tag=Tag.INVALID)
+
+    def fix(t, fault):
+        t.set_rw(fault.block_addr)
+        t.resume()
+
+    tempest.register_handler("fix", fix, instructions=14)
+    node.np.set_fault_handler(0, False, "fix")
+    run_access(machine, SHARED_BASE)  # fault installs the RTLB entry
+    misses_before = node.np.rtlb.misses
+    tempest.remap_page(SHARED_BASE, SHARED_BASE + 8 * 4096,
+                       initial_tag=Tag.INVALID)
+    # A fault on the new mapping must re-fetch the RTLB entry (miss).
+    run_access(machine, SHARED_BASE + 8 * 4096)
+    assert node.np.rtlb.misses == misses_before + 1
