@@ -1,0 +1,75 @@
+"""Simulation-kernel throughput benchmark (report-only).
+
+Times representative single runs — the workloads the hot-path work in
+``sim/engine.py``, ``sim/process.py``, and the node models targets — and
+writes ``BENCH_kernel.json`` at the repo root with wall-clock seconds and
+events/second per workload, so successive commits can be compared.
+
+No performance assertion is made here (wall-clock on shared CI boxes is
+too noisy to gate on); the only asserted properties are that the runs
+complete and that throughput is nonzero.  The JSON artifact is the
+deliverable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import nodes_under_test
+from repro.harness.runner import run_application
+from repro.harness.workloads import workload
+from repro.sim.config import MachineConfig
+
+#: (label, system, application, dataset, cache_bytes)
+KERNEL_WORKLOADS = [
+    ("ocean-typhoon", "typhoon-stache", "ocean", "small", 2048),
+    ("mp3d-typhoon", "typhoon-stache", "mp3d", "small", 2048),
+    ("em3d-dirnnb", "dirnnb", "em3d", "small", 2048),
+    ("ocean-blizzard", "blizzard-stache", "ocean", "small", 2048),
+]
+
+_OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
+
+
+def _time_cell(system: str, app_name: str, dataset: str,
+               cache_bytes: int, nodes: int) -> dict:
+    config = MachineConfig(nodes=nodes, seed=42).with_cache_size(cache_bytes)
+    app = workload(app_name, dataset).build()
+    start = time.perf_counter()
+    outcome = run_application(system, app, config)
+    elapsed = time.perf_counter() - start
+    events = outcome["machine"].engine.events_fired
+    return {
+        "system": system,
+        "application": app_name,
+        "dataset": dataset,
+        "cache_bytes": cache_bytes,
+        "wall_seconds": round(elapsed, 6),
+        "events_fired": events,
+        "events_per_second": round(events / elapsed, 1) if elapsed > 0 else 0.0,
+        "simulated_cycles": outcome["execution_time"],
+    }
+
+
+def test_kernel_throughput():
+    nodes = nodes_under_test()
+    results = {}
+    print()
+    for label, system, app_name, dataset, cache_bytes in KERNEL_WORKLOADS:
+        row = _time_cell(system, app_name, dataset, cache_bytes, nodes)
+        results[label] = row
+        print(f"{label:>16}: {row['wall_seconds'] * 1e3:8.1f} ms  "
+              f"{row['events_per_second']:>12,.0f} events/s  "
+              f"({row['events_fired']:,} events)")
+        assert row["events_fired"] > 0
+        assert row["events_per_second"] > 0
+
+    payload = {
+        "benchmark": "kernel-throughput",
+        "nodes": nodes,
+        "workloads": results,
+    }
+    _OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {_OUTPUT}")

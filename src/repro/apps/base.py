@@ -32,29 +32,101 @@ FLOP_CYCLES = 2
 OVERHEAD_CYCLES = 1
 
 
+def _no_inline(addr, is_write, value=None):
+    """Fallback for node models without an inline-hit fast lane."""
+    return None
+
+
+class _InlineDone:
+    """A ``yield from``-able that returns a value without ever yielding.
+
+    ``yield from`` on this object resolves in a single ``__next__`` call
+    — the delegating generator never suspends — which is what lets an
+    inline-serviced access skip generator creation entirely.  One
+    instance is reused per context: it is always consumed synchronously
+    before the next access can start.
+    """
+
+    __slots__ = ("value",)
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        raise StopIteration(self.value)
+
+
+class _InlineCharge:
+    """A ``yield from``-able that yields one delay, then returns None.
+
+    Reused per context for :meth:`AppContext.compute`, saving a generator
+    allocation per compute charge.
+    """
+
+    __slots__ = ("cycles", "_spent")
+
+    def __iter__(self):
+        self._spent = False
+        return self
+
+    def __next__(self):
+        if self._spent:
+            raise StopIteration(None)
+        self._spent = True
+        return self.cycles
+
+
 class AppContext:
-    """Per-node access handle given to application workers."""
+    """Per-node access handle given to application workers.
+
+    ``read``/``write``/``compute`` are plain calls returning an iterable
+    the worker drives with ``yield from``: either the node's ``access``
+    generator (the general path) or a reusable inline-completion object
+    when the access was serviced without touching the event queue.
+    """
 
     def __init__(self, machine, node_id: int):
         self.machine = machine
         self.node_id = node_id
         self._node = machine.nodes[node_id]
+        # The batched inline-hit lane: node models expose access_inline,
+        # which services TLB + cache hits (the dominant reference class)
+        # in one plain call — no generator, no event queue.  Consecutive
+        # hits therefore run back-to-back in the worker's loop, entering
+        # the simulator only on a miss, fault, or sync op.
+        self._inline = getattr(self._node, "access_inline", _no_inline)
+        self._access = self._node.access
+        self._done = _InlineDone()
+        self._charge = _InlineCharge()
 
     @property
     def num_nodes(self) -> int:
         return self.machine.num_nodes
 
-    def read(self, addr: int) -> Generator:
-        value = yield from self._node.access(addr, False)
-        return value
+    def read(self, addr: int):
+        hit = self._inline(addr, False)
+        if hit is not None:
+            done = self._done
+            done.value = hit[0]
+            return done
+        return self._access(addr, False)
 
-    def write(self, addr: int, value: Any) -> Generator:
-        yield from self._node.access(addr, True, value)
+    def write(self, addr: int, value: Any):
+        if self._inline(addr, True, value) is not None:
+            done = self._done
+            done.value = None
+            return done
+        return self._access(addr, True, value)
 
-    def compute(self, flops: int = 0, overhead: int = 0) -> Generator:
+    def compute(self, flops: int = 0, overhead: int = 0):
         cycles = flops * FLOP_CYCLES + overhead * OVERHEAD_CYCLES
         if cycles:
-            yield cycles
+            charge = self._charge
+            charge.cycles = cycles
+            return charge
+        done = self._done
+        done.value = None
+        return done
 
     def barrier(self) -> Generator:
         start = self.machine.engine.now

@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.memory.address import AddressLayout
+from repro.memory.address import SHARED_BASE, AddressLayout
 from repro.memory.cache import Cache, LineState
 from repro.memory.data import MemoryImage
 from repro.memory.page_table import PageTable
@@ -105,6 +105,27 @@ class BlizzardNode:
         self.written_blocks: set[int] = set()
         self._inbox: deque[Message] = deque()
         self._arrival: Future | None = None
+        # Hot-path stat keys, precomputed so the per-reference path does
+        # no string formatting.
+        self._refs_key = f"{self._prefix}.cpu.refs"
+        self._access_cycles_key = f"{self._prefix}.cpu.access_cycles"
+        self._tlb_misses_key = f"{self._prefix}.cpu.tlb_misses"
+        self._block_faults_key = f"{self._prefix}.cpu.block_faults"
+        self._local_misses_key = f"{self._prefix}.cpu.local_misses"
+        self._messages_sent_key = f"{self._prefix}.sw.messages_sent"
+        self._handlers_run_key = f"{self._prefix}.sw.handlers_run"
+        # Address arithmetic and container handles for the per-reference
+        # path.  The TLB / page-table dicts are stable objects (cleared in
+        # place, never reassigned), so caching them here is safe.
+        self._page_shift = self.layout.page_size.bit_length() - 1
+        self._page_mask = ~(self.layout.page_size - 1)
+        self._block_mask = ~(self.layout.block_size - 1)
+        self._hit_cycles = self.config.cache_hit_cycles
+        self._tlb_entries = self.cpu_tlb._entries
+        self._pt_entries = self.page_table._entries
+        self._counters = machine.stats._counters
+        self._image_read = self.image.read
+        self._image_write = self.image.write
         machine.interconnect.attach(node_id, self._receive)
 
     # ------------------------------------------------------------------
@@ -115,7 +136,7 @@ class BlizzardNode:
         return self.machine.num_nodes
 
     def send_message(self, message: Message) -> None:
-        self.stats.incr(f"{self._prefix}.sw.messages_sent")
+        self._counters[self._messages_sent_key] += 1
         self.machine.interconnect.send(message)
 
     def invalidate_cpu_copy(self, block_addr: int) -> None:
@@ -161,7 +182,7 @@ class BlizzardNode:
             self.costs.software_dispatch_cycles
             + spec.instructions * self.costs.cycles_per_instruction
         )
-        self.stats.incr(f"{self._prefix}.sw.handlers_run")
+        self._counters[self._handlers_run_key] += 1
         spec.fn(self.tempest, message)
         extra = self.np.take_charge()
         if extra:
@@ -206,19 +227,84 @@ class BlizzardNode:
     # ------------------------------------------------------------------
     # CPU access path
     # ------------------------------------------------------------------
+    def access_inline(self, addr: int, is_write: bool, value: Any = None):
+        """Service a checked-hit access without touching the event queue.
+
+        Blizzard's common case is a shared reference whose inserted poll
+        finds an empty inbox, whose inserted tag check passes, and whose
+        block hits in the hardware cache.  All of that is a fixed cycle
+        charge (poll + check + hit) with no protocol activity, so when
+        the engine can prove no event would fire inside that window the
+        whole access commits inline.  Returns ``(result,)`` on success,
+        or None (side-effect free) when :meth:`access` must run.
+
+        The engine window is checked *first* (see
+        ``TyphoonNode.access_inline``): rejection in lock-step phases must
+        cost attribute reads, not probes the fallback then repeats.
+        """
+        engine = self.engine
+        if engine._fifo or self._inbox:
+            return None
+        shared = addr >= SHARED_BASE
+        if shared:
+            costs = self.costs
+            cycles = costs.poll_cycles + self._hit_cycles + (
+                costs.check_write_cycles if is_write else costs.check_read_cycles
+            )
+        else:
+            cycles = self._hit_cycles
+        target = engine.now + cycles
+        queue = engine._queue
+        if queue and queue[0][0] <= target:
+            return None
+        until = engine._until
+        if until is not None and target > until:
+            return None
+        if (addr >> self._page_shift) not in self._tlb_entries:
+            return None
+        if shared and (addr & self._page_mask) not in self._pt_entries:
+            return None
+        block = addr & self._block_mask
+        line = self.cache.lookup(block)
+        if line is None or (is_write and line.state is LineState.SHARED):
+            return None
+        # Commit: identical effects to the generator path's hit branch.
+        # The probes above cannot schedule events, so the window check
+        # still holds and the clock can move directly.
+        engine.now = target
+        self.cpu_tlb.hits += 1
+        self.cache.hits += 1
+        counters = self._counters
+        counters[self._refs_key] += 1
+        if is_write:
+            self._image_write(addr, value)
+            if shared:
+                self.written_blocks.add(block)
+            result = None
+        else:
+            result = value = self._image_read(addr)
+        counters[self._access_cycles_key] += cycles
+        if self.machine.history is not None:
+            self.machine.history.record(
+                self.node_id, addr, is_write, value,
+                engine.now - cycles, engine.now,
+            )
+        return (result,)
+
     def access(self, addr: int, is_write: bool, value: Any = None) -> Generator:
-        self.stats.incr(f"{self._prefix}.cpu.refs")
+        counters = self._counters
+        counters[self._refs_key] += 1
         start = self.engine.now
-        shared = AddressLayout.is_shared(addr)
+        shared = addr >= SHARED_BASE
         if shared:
             yield from self._poll()
-        if not self.cpu_tlb.access(self.layout.page_number(addr)):
-            self.stats.incr(f"{self._prefix}.cpu.tlb_misses")
+        if not self.cpu_tlb.access(addr >> self._page_shift):
+            counters[self._tlb_misses_key] += 1
             yield self.config.tlb.miss_cycles
 
-        block = self.layout.block_of(addr)
+        block = addr & self._block_mask
         while True:
-            if shared and not self.page_table.is_mapped(addr):
+            if shared and (addr & self._page_mask) not in self._pt_entries:
                 yield from self._handle_page_fault(addr, is_write)
                 continue
             if shared:
@@ -229,16 +315,16 @@ class BlizzardNode:
                 if check:
                     yield check
             if self.cache.access(block, is_write):
-                yield self.config.cache_hit_cycles
+                yield self._hit_cycles
                 return self._complete(addr, is_write, value, start)
             if shared:
                 fault = self.tags.check(addr, is_write)
                 if fault is not None:
-                    self.stats.incr(f"{self._prefix}.cpu.block_faults")
+                    counters[self._block_faults_key] += 1
                     yield from self._handle_block_fault(fault)
                     continue
             yield self.config.local_miss_cycles
-            self.stats.incr(f"{self._prefix}.cpu.local_misses")
+            counters[self._local_misses_key] += 1
             if shared and self.tags.read_tag(addr) is Tag.READ_ONLY:
                 state = LineState.SHARED
             else:
@@ -278,14 +364,13 @@ class BlizzardNode:
     def _complete(self, addr: int, is_write: bool, value: Any,
                   start: float) -> Any:
         if is_write:
-            self.image.write(addr, value)
-            if AddressLayout.is_shared(addr):
-                self.written_blocks.add(self.layout.block_of(addr))
+            self._image_write(addr, value)
+            if addr >= SHARED_BASE:
+                self.written_blocks.add(addr & self._block_mask)
             result = None
         else:
-            result = value = self.image.read(addr)
-        self.stats.incr(f"{self._prefix}.cpu.access_cycles",
-                        self.engine.now - start)
+            result = value = self._image_read(addr)
+        self._counters[self._access_cycles_key] += self.engine.now - start
         if self.machine.history is not None:
             self.machine.history.record(
                 self.node_id, addr, is_write, value, start, self.engine.now

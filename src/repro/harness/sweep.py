@@ -16,17 +16,47 @@ Example::
         .cache_sizes(512, 8192)
         .seeds(42, 43)
     )
-    result = sweep.run(nodes=4)
+    result = sweep.run(nodes=4, workers=4)
     print(result.to_text())
     open("sweep.csv", "w").write(result.to_csv())
+
+Cells are independent simulations (each builds its own machine from its
+seed), so ``run(workers=N)`` farms them out to a process pool.  Results
+are merged back in deterministic cell order, so the output table is
+byte-identical to a serial run.
 """
 
 from __future__ import annotations
+
+import multiprocessing
+from typing import Any
 
 from repro.harness.report import ExperimentResult
 from repro.harness.runner import run_application
 from repro.harness.workloads import workload
 from repro.sim.config import MachineConfig
+
+
+def _run_cell(cell: tuple[str, str, str, int, int, int]) -> dict[str, Any]:
+    """Run one sweep cell and return its (picklable) result row.
+
+    Module-level so :mod:`multiprocessing` can ship it to pool workers;
+    the machine object itself never crosses the process boundary — only
+    the scalar row values do.
+    """
+    system, app_name, dataset, cache_bytes, seed, nodes = cell
+    config = MachineConfig(nodes=nodes, seed=seed).with_cache_size(cache_bytes)
+    outcome = run_application(system, workload(app_name, dataset).build(), config)
+    return {
+        "system": system,
+        "application": app_name,
+        "dataset": dataset,
+        "cache": cache_bytes,
+        "seed": seed,
+        "cycles": outcome["execution_time"],
+        "refs": outcome["refs"],
+        "remote_packets": outcome["remote_packets"],
+    }
 
 
 class Sweep:
@@ -61,38 +91,42 @@ class Sweep:
         return (len(self._systems) * len(self._workloads)
                 * len(self._cache_sizes) * len(self._seeds))
 
+    def cell_list(self, nodes: int = 8) -> list[tuple[str, str, str, int, int, int]]:
+        """The sweep's cells in canonical order (workloads, cache, seed, system)."""
+        return [
+            (system, app_name, dataset, cache_bytes, seed, nodes)
+            for app_name, dataset in self._workloads
+            for cache_bytes in self._cache_sizes
+            for seed in self._seeds
+            for system in self._systems
+        ]
+
     def run(self, nodes: int = 8,
-            progress=None) -> ExperimentResult:
-        """Run every cell; ``progress(done, total)`` is called per cell."""
+            progress=None, workers: int = 1) -> ExperimentResult:
+        """Run every cell; ``progress(done, total)`` is called per cell.
+
+        ``workers > 1`` runs cells in a process pool.  Each cell is a
+        self-contained simulation, so parallel execution changes nothing
+        but wall-clock time: rows are collected in canonical cell order
+        and match a serial run exactly.
+        """
         result = ExperimentResult(
             "sweep",
             f"{self.cells}-cell sweep at {nodes} nodes",
             ["system", "application", "dataset", "cache", "seed",
              "cycles", "refs", "remote_packets"],
         )
-        done = 0
-        for app_name, dataset in self._workloads:
-            for cache_bytes in self._cache_sizes:
-                for seed in self._seeds:
-                    for system in self._systems:
-                        config = MachineConfig(
-                            nodes=nodes, seed=seed
-                        ).with_cache_size(cache_bytes)
-                        outcome = run_application(
-                            system, workload(app_name, dataset).build(),
-                            config,
-                        )
-                        result.add_row(
-                            system=system,
-                            application=app_name,
-                            dataset=dataset,
-                            cache=cache_bytes,
-                            seed=seed,
-                            cycles=outcome["execution_time"],
-                            refs=outcome["refs"],
-                            remote_packets=outcome["remote_packets"],
-                        )
-                        done += 1
-                        if progress is not None:
-                            progress(done, self.cells)
+        cells = self.cell_list(nodes)
+        if workers > 1 and len(cells) > 1:
+            with multiprocessing.Pool(min(workers, len(cells))) as pool:
+                # imap (not imap_unordered): rows must land in cell order.
+                for done, row in enumerate(pool.imap(_run_cell, cells), 1):
+                    result.add_row(**row)
+                    if progress is not None:
+                        progress(done, self.cells)
+        else:
+            for done, cell in enumerate(cells, 1):
+                result.add_row(**_run_cell(cell))
+                if progress is not None:
+                    progress(done, self.cells)
         return result

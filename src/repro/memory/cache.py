@@ -71,7 +71,10 @@ class Cache:
     # ------------------------------------------------------------------
     def lookup(self, block_addr: int) -> CacheLine | None:
         """Return the resident line for ``block_addr`` or None."""
-        return self._set_for(block_addr).get(block_addr)
+        # _set_for inlined: this runs once or twice per CPU reference.
+        return self._sets[
+            (block_addr >> self._block_shift) & self._set_mask
+        ].get(block_addr)
 
     def access(self, block_addr: int, is_write: bool) -> bool:
         """Probe for a hit; maintains hit/miss/upgrade counters.

@@ -18,31 +18,40 @@ from repro.memory.address import AddressLayout
 
 
 class MemoryImage:
-    """Word-granularity data storage for one node's mapped pages."""
+    """Word-granularity data storage for one node's mapped pages.
+
+    Words are stored per block (block base -> {offset: value}) so that a
+    coherence block transfer — the hot operation — is a single dict copy
+    rather than a probe of every address in the block.
+    """
 
     def __init__(self, layout: AddressLayout, node: int = 0):
         self.layout = layout
         self.node = node
-        self._words: dict[int, Any] = {}
+        self._blocks: dict[int, dict[int, Any]] = {}
+        self._block_mask = ~(layout.block_size - 1)
+        self._block_low = layout.block_size - 1
 
     def read(self, addr: int, default: Any = 0) -> Any:
-        return self._words.get(addr, default)
+        block = self._blocks.get(addr & self._block_mask)
+        if block is None:
+            return default
+        return block.get(addr & self._block_low, default)
 
     def write(self, addr: int, value: Any) -> None:
-        self._words[addr] = value
+        base = addr & self._block_mask
+        block = self._blocks.get(base)
+        if block is None:
+            block = self._blocks[base] = {}
+        block[addr & self._block_low] = value
 
     # ------------------------------------------------------------------
     # Block transfer support
     # ------------------------------------------------------------------
     def export_block(self, block_addr: int) -> dict[int, Any]:
         """Snapshot the words of one block (offset -> value), sparsely."""
-        base = self.layout.block_of(block_addr)
-        end = base + self.layout.block_size
-        return {
-            addr - base: value
-            for addr, value in self._words.items()
-            if base <= addr < end
-        }
+        block = self._blocks.get(block_addr & self._block_mask)
+        return dict(block) if block else {}
 
     def import_block(self, block_addr: int, payload: dict[int, Any]) -> None:
         """Overwrite one block's words from a snapshot.
@@ -51,26 +60,26 @@ class MemoryImage:
         destination must equal the source exactly, or stale values could
         masquerade as coherent data.
         """
-        base = self.layout.block_of(block_addr)
-        for offset in range(0, self.layout.block_size):
-            addr = base + offset
-            if offset in payload:
-                self._words[addr] = payload[offset]
-            elif addr in self._words:
-                del self._words[addr]
+        base = block_addr & self._block_mask
+        if payload:
+            self._blocks[base] = dict(payload)
+        else:
+            self._blocks.pop(base, None)
 
     def clear_page(self, page_addr: int) -> None:
         base = self.layout.page_of(page_addr)
         end = base + self.layout.page_size
-        for addr in [a for a in self._words if base <= a < end]:
-            del self._words[addr]
+        for block_base in [b for b in self._blocks if base <= b < end]:
+            del self._blocks[block_base]
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._words)
+        return sum(len(block) for block in self._blocks.values())
 
     def items(self) -> Iterator[tuple[int, Any]]:
-        return iter(self._words.items())
+        for base, block in self._blocks.items():
+            for offset, value in block.items():
+                yield base + offset, value
 
     def __repr__(self) -> str:
-        return f"MemoryImage(node={self.node}, words={len(self._words)})"
+        return f"MemoryImage(node={self.node}, words={len(self)})"

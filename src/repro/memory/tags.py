@@ -69,6 +69,10 @@ class TagStore:
         self.node = node
         # page base address -> list of tags, one per block in the page.
         self._pages: dict[int, list[Tag]] = {}
+        # Precomputed address arithmetic for the per-access tag check.
+        self._page_mask = ~(layout.page_size - 1)
+        self._page_low = layout.page_size - 1
+        self._block_shift = layout.block_size.bit_length() - 1
 
     # ------------------------------------------------------------------
     # Page registration (called by the page table on map/unmap)
@@ -89,20 +93,25 @@ class TagStore:
         return self.layout.page_of(page_addr) in self._pages
 
     def _slot(self, addr: int) -> tuple[list[Tag], int]:
-        page_addr = self.layout.page_of(addr)
-        tags = self._pages.get(page_addr)
+        tags = self._pages.get(addr & self._page_mask)
         if tags is None:
-            raise TagStoreError(f"no tags for unmapped page {page_addr:#x}")
-        return tags, self.layout.block_index_in_page(addr)
+            raise TagStoreError(
+                f"no tags for unmapped page {addr & self._page_mask:#x}"
+            )
+        return tags, (addr & self._page_low) >> self._block_shift
 
     # ------------------------------------------------------------------
     # Checked accesses (Table 1: read, write)
     # ------------------------------------------------------------------
     def check(self, addr: int, is_write: bool) -> AccessFault | None:
         """Tag-check an access; returns a fault record or None if permitted."""
-        tags, index = self._slot(addr)
-        tag = tags[index]
-        if tag.permits(is_write):
+        tags = self._pages.get(addr & self._page_mask)
+        if tags is None:
+            raise TagStoreError(
+                f"no tags for unmapped page {addr & self._page_mask:#x}"
+            )
+        tag = tags[(addr & self._page_low) >> self._block_shift]
+        if tag is Tag.READ_WRITE or (tag is Tag.READ_ONLY and not is_write):
             return None
         return AccessFault(
             addr=addr,
@@ -116,12 +125,20 @@ class TagStore:
     # Tag manipulation (Table 1: read-tag, set-RW, set-RO, invalidate)
     # ------------------------------------------------------------------
     def read_tag(self, addr: int) -> Tag:
-        tags, index = self._slot(addr)
-        return tags[index]
+        tags = self._pages.get(addr & self._page_mask)
+        if tags is None:
+            raise TagStoreError(
+                f"no tags for unmapped page {addr & self._page_mask:#x}"
+            )
+        return tags[(addr & self._page_low) >> self._block_shift]
 
     def set_tag(self, addr: int, tag: Tag) -> None:
-        tags, index = self._slot(addr)
-        tags[index] = tag
+        tags = self._pages.get(addr & self._page_mask)
+        if tags is None:
+            raise TagStoreError(
+                f"no tags for unmapped page {addr & self._page_mask:#x}"
+            )
+        tags[(addr & self._page_low) >> self._block_shift] = tag
 
     def set_rw(self, addr: int) -> None:
         self.set_tag(addr, Tag.READ_WRITE)

@@ -36,6 +36,14 @@ class Interconnect:
         self.topology = topology
         self.stats = stats if stats is not None else Stats()
         self.model_contention = model_contention
+        self._max_payload = config.max_payload_words
+        # Hot-path caches: the topology's latency function, the raw
+        # counter dict (a defaultdict — plain indexing is the same as
+        # Stats.incr) and the latency distribution, created on first send
+        # so an idle interconnect publishes no counters.
+        self._latency = topology.latency
+        self._counters = self.stats._counters
+        self._latency_dist = None
         self._sinks: dict[int, Callable[[Message], None]] = {}
         # channel -> earliest time the next delivery may occur (FIFO floor).
         self._channel_clear: dict[tuple[int, int, int], float] = {}
@@ -59,21 +67,26 @@ class Interconnect:
         """
         if message.dst not in self._sinks:
             raise SimulationError(f"message to unattached node {message.dst}")
-        message.validated(self.config.max_payload_words)
-        message.send_time = self.engine.now
+        if message.size_words > self._max_payload:
+            message.validated(self._max_payload)  # raises PacketTooLarge
+        engine = self.engine
+        now = engine.now
+        message.send_time = now
 
-        self.stats.incr("network.packets")
-        self.stats.incr("network.words", message.size_words)
-        for observer in self.observers:
-            observer("send", message)
-        if message.is_local:
-            self.stats.incr("network.local_packets")
-            self.engine.schedule(1, self._deliver, message)
+        counters = self._counters
+        counters["network.packets"] += 1
+        counters["network.words"] += message.size_words
+        if self.observers:
+            for observer in self.observers:
+                observer("send", message)
+        if message.src == message.dst:
+            counters["network.local_packets"] += 1
+            engine.schedule(1, self._deliver, message)
             return
 
-        latency = self.topology.latency(message.src, message.dst)
-        arrival = self.engine.now + latency
-        channel = (message.src, message.dst, int(message.vnet))
+        latency = self._latency(message.src, message.dst)
+        arrival = now + latency
+        channel = (message.src, message.dst, message.vnet)
         floor = self._channel_clear.get(channel, 0)
         if arrival < floor:
             arrival = floor  # preserve FIFO order on the channel
@@ -82,8 +95,11 @@ class Interconnect:
             self._channel_clear[channel] = arrival + message.size_words
         else:
             self._channel_clear[channel] = arrival
-        self.stats.sample("network.latency", arrival - self.engine.now)
-        self.engine.schedule_at(arrival, self._deliver, message)
+        dist = self._latency_dist
+        if dist is None:
+            dist = self._latency_dist = self.stats.distribution("network.latency")
+        dist.add(arrival - now)
+        engine.schedule_at(arrival, self._deliver, message)
 
     def _deliver(self, message: Message) -> None:
         for observer in self.observers:

@@ -38,7 +38,7 @@ class PacketTooLarge(ValueError):
 _message_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One network packet."""
 

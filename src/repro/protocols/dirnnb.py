@@ -95,6 +95,12 @@ class DirectoryController:
         self.costs = node.machine.config.dirnnb
         self.stats = node.machine.stats
         self._prefix = f"node{node.node_id}.dir"
+        # Hot-path stat keys and the raw counter dict, precomputed so a
+        # directory op does no string formatting or method dispatch.
+        self._counters = node.machine.stats._counters
+        self._occupancy_key = f"{self._prefix}.occupancy_cycles"
+        self._ops_key = f"{self._prefix}.ops"
+        self._replays_key = f"{self._prefix}.replays"
         self._queue: deque[Message] = deque()
         self._busy = False
         self._entries: dict[int, HardwareDirectoryEntry] = {}
@@ -149,8 +155,9 @@ class DirectoryController:
                 + self.costs.directory_per_message * len(self._out_messages)
                 + (self.costs.directory_block_sent if self._block_sent else 0)
             )
-        self.stats.incr(f"{self._prefix}.occupancy_cycles", cost)
-        self.stats.incr(f"{self._prefix}.ops")
+        counters = self._counters
+        counters[self._occupancy_key] += cost
+        counters[self._ops_key] += 1
         self.engine.schedule(
             cost, self._emit, self._out_messages, self._out_grants
         )
@@ -202,7 +209,7 @@ class DirectoryController:
             return
         requester, want_write = entry.pending.popleft()
         # Each replayed request is another directory op's worth of work.
-        self.stats.incr(f"{self._prefix}.replays")
+        self._counters[self._replays_key] += 1
         self._start_request(block, entry, requester, want_write)
 
     # ------------------------------------------------------------------
@@ -369,6 +376,23 @@ class DirNNBNode:
         self.cpu_tlb = Tlb(machine.config.tlb, name=f"{self._prefix}.tlb")
         self.directory = DirectoryController(self)
         self._miss_grant: Future | None = None
+        # Hot-path stat keys, precomputed so the per-reference path does
+        # no string formatting.
+        self._refs_key = f"{self._prefix}.cpu.refs"
+        self._access_cycles_key = f"{self._prefix}.cpu.access_cycles"
+        self._tlb_misses_key = f"{self._prefix}.cpu.tlb_misses"
+        self._local_misses_key = f"{self._prefix}.cpu.local_misses"
+        self._remote_misses_key = f"{self._prefix}.cpu.remote_misses"
+        # Address arithmetic and container handles for the per-reference
+        # path.  The TLB dict is a stable object (cleared in place, never
+        # reassigned), so caching it here is safe.
+        self._page_shift = self.layout.page_size.bit_length() - 1
+        self._block_mask = ~(self.layout.block_size - 1)
+        self._hit_cycles = self.config.cache_hit_cycles
+        self._tlb_entries = self.cpu_tlb._entries
+        self._counters = machine.stats._counters
+        self._image_read = machine.shared_image.read
+        self._image_write = machine.shared_image.write
         machine.interconnect.attach(node_id, self._receive)
 
     # ------------------------------------------------------------------
@@ -469,18 +493,68 @@ class DirNNBNode:
     # ------------------------------------------------------------------
     # CPU access path
     # ------------------------------------------------------------------
+    def access_inline(self, addr: int, is_write: bool, value: Any = None):
+        """Service a full TLB + cache hit without touching the event queue.
+
+        Same contract as ``TyphoonNode.access_inline``: side-effect-free
+        probes, then a one-call commit when the access is a plain
+        hardware hit the engine can advance over inline.  Returns
+        ``(result,)`` on success or None when :meth:`access` must run.
+
+        The engine window is checked *first* (see
+        ``TyphoonNode.access_inline``): rejection in lock-step phases must
+        cost attribute reads, not probes the fallback then repeats.
+        """
+        engine = self.engine
+        if engine._fifo:
+            return None
+        hit_cycles = self._hit_cycles
+        target = engine.now + hit_cycles
+        queue = engine._queue
+        if queue and queue[0][0] <= target:
+            return None
+        until = engine._until
+        if until is not None and target > until:
+            return None
+        if (addr >> self._page_shift) not in self._tlb_entries:
+            return None
+        line = self.cache.lookup(addr & self._block_mask)
+        if line is None or (is_write and line.state is LineState.SHARED):
+            return None
+        # Commit: identical effects to the generator path's hit branch.
+        # The probes above cannot schedule events, so the window check
+        # still holds and the clock can move directly.
+        engine.now = target
+        self.cpu_tlb.hits += 1
+        self.cache.hits += 1
+        counters = self._counters
+        counters[self._refs_key] += 1
+        if is_write:
+            self._image_write(addr, value)
+            result = None
+        else:
+            result = value = self._image_read(addr)
+        counters[self._access_cycles_key] += hit_cycles
+        if self.machine.history is not None:
+            self.machine.history.record(
+                self.node_id, addr, is_write, value,
+                engine.now - hit_cycles, engine.now,
+            )
+        return (result,)
+
     def access(self, addr: int, is_write: bool, value: Any = None) -> Generator:
         """One CPU load or store (same surface as TyphoonNode.access)."""
-        self.stats.incr(f"{self._prefix}.cpu.refs")
+        counters = self._counters
+        counters[self._refs_key] += 1
         start = self.engine.now
-        if not self.cpu_tlb.access(self.layout.page_number(addr)):
-            self.stats.incr(f"{self._prefix}.cpu.tlb_misses")
+        if not self.cpu_tlb.access(addr >> self._page_shift):
+            counters[self._tlb_misses_key] += 1
             yield self.config.tlb.miss_cycles
 
         shared = AddressLayout.is_shared(addr)
-        block = self.layout.block_of(addr)
+        block = addr & self._block_mask
         if self.cache.access(block, is_write):
-            yield self.config.cache_hit_cycles
+            yield self._hit_cycles
             return self._complete(addr, is_write, value, start)
 
         if not shared:
@@ -500,10 +574,10 @@ class DirNNBNode:
         costs = self.config.dirnnb
         remote = home != self.node_id
         if remote:
-            self.stats.incr(f"{self._prefix}.cpu.remote_misses")
+            counters[self._remote_misses_key] += 1
             yield costs.remote_miss_issue
         else:
-            self.stats.incr(f"{self._prefix}.cpu.local_misses")
+            counters[self._local_misses_key] += 1
             yield self.config.local_miss_cycles
         grant_future = Future(self.engine)
         if self._miss_grant is not None:
@@ -572,12 +646,11 @@ class DirNNBNode:
     def _complete(self, addr: int, is_write: bool, value: Any,
                   start: float) -> Any:
         if is_write:
-            self.machine.shared_image.write(addr, value)
+            self._image_write(addr, value)
             result = None
         else:
-            result = value = self.machine.shared_image.read(addr)
-        self.stats.incr(f"{self._prefix}.cpu.access_cycles",
-                        self.engine.now - start)
+            result = value = self._image_read(addr)
+        self._counters[self._access_cycles_key] += self.engine.now - start
         if self.machine.history is not None:
             self.machine.history.record(
                 self.node_id, addr, is_write, value, start, self.engine.now

@@ -233,7 +233,9 @@ class StacheProtocol:
             return
         tempest.set_busy(block)
         self._pending_fault[tempest.node_id] = block
-        tempest.stats.incr(f"stache.{'rw' if want_write else 'ro'}_requests")
+        tempest.stats.incr(
+            "stache.rw_requests" if want_write else "stache.ro_requests"
+        )
         tempest.send(
             entry.home,
             self.GET_RW if want_write else self.GET_RO,

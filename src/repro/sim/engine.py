@@ -7,11 +7,33 @@ cycle-count cost model in Table 2).
 Events scheduled for the same cycle fire in the order they were scheduled
 (FIFO tie-break via a monotone sequence number), which makes every
 simulation deterministic for a given seed.
+
+Two structural fast paths keep the common cases cheap (see
+``docs/performance.md``):
+
+* **Zero-delay fast lane.**  ``schedule(0, ...)`` — the dominant event
+  class, since every ``Future.resolve`` callback and same-cycle handler
+  chains through it — lands in a plain deque instead of the binary heap.
+  A zero-delay event carries the current clock value, which is the
+  minimum over everything queued, so the only events that may precede it
+  are heap events for the *same* cycle with a *smaller* sequence number;
+  the run loop performs exactly that (time, seq) merge, so firing order
+  is bit-identical to a single heap.
+
+* **Inline clock advance.**  :meth:`Engine.try_advance` lets a caller
+  (the process layer, a node's inline-hit path) move the clock forward
+  without a schedule/fire round trip when no queued event could fire in
+  the skipped window — the Wind-Tunnel direct-execution trick applied to
+  CPython overhead.
+
+The heap itself stores ``(time, seq, event)`` tuples so ordering uses
+C-level tuple comparison rather than a Python ``__lt__`` per sift step.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable
 
 
@@ -22,14 +44,17 @@ class SimulationError(RuntimeError):
 class _Event:
     """A scheduled callback.  Cancellation is a flag check at fire time."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "engine")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any],
+                 args: tuple, engine: "Engine | None" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self.engine = engine
 
     def __lt__(self, other: "_Event") -> bool:
         if self.time != other.time:
@@ -38,7 +63,11 @@ class _Event:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self.engine is not None:
+            self.engine._live -= 1
 
 
 class Engine:
@@ -53,11 +82,19 @@ class Engine:
     """
 
     def __init__(self) -> None:
-        self._queue: list[_Event] = []
+        #: Timed events: a heap of (time, seq, event) tuples.
+        self._queue: list[tuple[float, int, _Event]] = []
+        #: Zero-delay events: always carry the current clock value, in
+        #: seq order (the fast lane; see module docstring).
+        self._fifo: deque[_Event] = deque()
         self._seq = 0
         self.now: float = 0
         self._events_fired = 0
         self._running = False
+        #: Live (scheduled, unfired, uncancelled) events — O(1) pending.
+        self._live = 0
+        #: Active ``run(until=...)`` bound; honoured by try_advance.
+        self._until: float | None = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -66,33 +103,120 @@ class Engine:
         """Schedule ``fn(*args)`` to fire ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} cycles in the past")
-        return self.schedule_at(self.now + delay, fn, *args)
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        # _Event built without the __init__ call: this is the single
+        # hottest allocation site in the simulator.
+        event = _Event.__new__(_Event)
+        event.seq = seq
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        event.fired = False
+        event.engine = self
+        if delay == 0:
+            event.time = self.now
+            self._fifo.append(event)
+        else:
+            event.time = time = self.now + delay
+            heapq.heappush(self._queue, (time, seq, event))
+        return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> _Event:
         """Schedule ``fn(*args)`` to fire at absolute cycle ``time``."""
-        if time < self.now:
+        now = self.now
+        if time < now:
             raise SimulationError(
-                f"cannot schedule at cycle {time}; clock is already at {self.now}"
+                f"cannot schedule at cycle {time}; clock is already at {now}"
             )
-        event = _Event(time, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        event = _Event.__new__(_Event)
+        event.time = time
+        event.seq = seq
+        event.fn = fn
+        event.args = args
+        event.cancelled = False
+        event.fired = False
+        event.engine = self
+        if time == now:
+            self._fifo.append(event)
+        else:
+            heapq.heappush(self._queue, (time, seq, event))
         return event
+
+    # ------------------------------------------------------------------
+    # Inline time advance (the process layer's compute fast path)
+    # ------------------------------------------------------------------
+    def try_advance(self, delay: float) -> bool:
+        """Advance the clock ``delay`` cycles inline if provably safe.
+
+        Safe means no queued event could fire at or before the target
+        time and no active ``run(until=...)`` bound would be crossed; the
+        advance is then indistinguishable from scheduling a wakeup event
+        and firing it, because nothing else can run in between.  Returns
+        False (taking no action) when the caller must schedule normally.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot advance {delay} cycles into the past")
+        if self._fifo:
+            return False
+        target = self.now + delay
+        queue = self._queue
+        if queue and queue[0][0] <= target:
+            return False
+        until = self._until
+        if until is not None and target > until:
+            return False
+        self.now = target
+        return True
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _next(self) -> tuple[_Event, bool] | None:
+        """Peek the next live event: ``(event, from_heap)`` or None.
+
+        Drops cancelled husks from both lane heads.  A fifo event always
+        carries the current clock value — the minimum over everything
+        queued — so a heap event precedes it only at equal time with a
+        smaller sequence number.
+        """
+        fifo = self._fifo
+        queue = self._queue
+        while fifo and fifo[0].cancelled:
+            fifo.popleft()
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        if fifo:
+            event = fifo[0]
+            if queue:
+                head = queue[0]
+                if head[0] == event.time and head[1] < event.seq:
+                    return head[2], True
+            return event, False
+        if queue:
+            return queue[0][2], True
+        return None
+
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            self._events_fired += 1
-            event.fn(*event.args)
-            return True
-        return False
+        nxt = self._next()
+        if nxt is None:
+            return False
+        event, from_heap = nxt
+        if from_heap:
+            heapq.heappop(self._queue)
+        else:
+            self._fifo.popleft()
+        self.now = event.time
+        event.fired = True
+        self._live -= 1
+        self._events_fired += 1
+        event.fn(*event.args)
+        return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run until the queue drains, ``until`` cycles pass, or ``max_events`` fire.
@@ -104,35 +228,67 @@ class Engine:
         if self._running:
             raise SimulationError("engine is not reentrant")
         self._running = True
+        self._until = until
         fired = 0
+        queue = self._queue
+        fifo = self._fifo
+        heappop = heapq.heappop
+        popleft = fifo.popleft
+        bounded = until is not None or max_events is not None
         try:
-            while self._queue:
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and head.time > until:
-                    self.now = until
-                    return
-                if max_events is not None and fired >= max_events:
-                    return
-                heapq.heappop(self._queue)
-                self.now = head.time
+            while True:
+                # Drop cancelled husks at both lane heads, then pick the
+                # (time, seq) minimum across the two lanes.
+                while fifo and fifo[0].cancelled:
+                    popleft()
+                while queue and queue[0][2].cancelled:
+                    heappop(queue)
+                if fifo:
+                    event = fifo[0]
+                    from_heap = False
+                    if queue:
+                        head = queue[0]
+                        if head[0] == event.time and head[1] < event.seq:
+                            event = head[2]
+                            from_heap = True
+                elif queue:
+                    event = queue[0][2]
+                    from_heap = True
+                else:
+                    break
+                if bounded:
+                    if until is not None and event.time > until:
+                        self.now = until
+                        return
+                    if max_events is not None and fired >= max_events:
+                        return
+                    fired += 1
+                if from_heap:
+                    heappop(queue)
+                else:
+                    popleft()
+                self.now = event.time
+                event.fired = True
+                self._live -= 1
                 self._events_fired += 1
-                head.fn(*head.args)
-                fired += 1
+                event.fn(*event.args)
             if until is not None and until > self.now:
                 self.now = until
         finally:
             self._running = False
+            self._until = None
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled husks)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live events still queued (cancelled husks excluded).
+
+        O(1): maintained as a counter on schedule/fire/cancel rather than
+        scanned, so stray ``repr(engine)`` calls stay cheap in long runs.
+        """
+        return self._live
 
     @property
     def events_fired(self) -> int:

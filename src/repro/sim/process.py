@@ -128,32 +128,51 @@ class Process:
 
     # ------------------------------------------------------------------
     def _advance(self, send_value: Any) -> None:
-        """Resume the generator stack and interpret what it yields next."""
+        """Resume the generator stack and interpret what it yields next.
+
+        Consecutive numeric yields are the hot path: whenever the engine
+        can prove no other event would fire in the skipped window, the
+        delay is applied inline (``Engine.try_advance``) and the
+        generator is resumed immediately — an arbitrarily long run of
+        compute charges and serviced cache hits then collapses into this
+        one tight loop, entering the event queue only on a miss, fault,
+        or sync operation (a Future, or a delay that overlaps pending
+        work).
+        """
+        engine = self.engine
+        # The fifo and heap objects are stable for the engine's lifetime,
+        # so the inline-advance window check below can read them directly
+        # instead of paying a method call per numeric yield.
+        fifo = engine._fifo
+        queue = engine._queue
+        stack = self._stack
+        finished = self.finished
         while True:
-            if self.finished.done:
+            if finished._done:
                 return
-            generator = self._stack[-1]
+            generator = stack[-1]
             try:
                 if self._killed:
                     yielded = generator.throw(ProcessKilled())
                 else:
                     yielded = generator.send(send_value)
             except StopIteration as stop:
-                self._stack.pop()
-                if self._stack:
+                stack.pop()
+                if stack:
                     send_value = stop.value
                     continue
-                self.finished.resolve(stop.value)
+                finished.resolve(stop.value)
                 return
             except ProcessKilled:
-                self._stack.pop()
-                if self._stack:
+                stack.pop()
+                if stack:
                     # Propagate the kill up through nested sub-generators.
                     continue
-                self.finished.resolve(None)
+                finished.resolve(None)
                 return
 
-            if isinstance(yielded, (int, float)):
+            kind = type(yielded)
+            if kind is int or kind is float:
                 if yielded < 0:
                     raise SimulationError(
                         f"{self.name} yielded negative delay {yielded}"
@@ -161,18 +180,44 @@ class Process:
                 if yielded == 0:
                     send_value = None
                     continue
-                self.engine.schedule(yielded, self._advance, None)
+                # Inline Engine.try_advance: advance the clock directly
+                # when no queued event could fire in the skipped window
+                # and no run(until=) bound would be crossed.
+                target = engine.now + yielded
+                if (
+                    not fifo
+                    and (not queue or queue[0][0] > target)
+                    and ((until := engine._until) is None or target <= until)
+                ):
+                    engine.now = target
+                    send_value = None
+                    continue
+                engine.schedule(yielded, self._advance, None)
                 return
             if isinstance(yielded, Future):
                 if yielded.done:
+                    # Already-resolved future: send the value straight
+                    # back in rather than taking a heap round trip.
                     send_value = yielded.value
                     continue
                 yielded.add_callback(self._advance)
                 return
             if hasattr(yielded, "send") and hasattr(yielded, "throw"):
-                self._stack.append(yielded)
+                stack.append(yielded)
                 send_value = None
                 continue
+            if isinstance(yielded, (int, float)):
+                # Numeric subclass (e.g. bool) — rare enough that the
+                # exact-type fast path above skipped it; same rules.
+                if yielded < 0:
+                    raise SimulationError(
+                        f"{self.name} yielded negative delay {yielded}"
+                    )
+                if yielded == 0:
+                    send_value = None
+                    continue
+                engine.schedule(yielded, self._advance, None)
+                return
             raise SimulationError(
                 f"{self.name} yielded unsupported value {yielded!r}; "
                 "expected a delay, a Future, or a sub-generator"

@@ -65,36 +65,20 @@ class Tempest:
         from repro.tempest.bulk import BulkTransferEngine
 
         self._backend = backend
+        # Identity handles, bound once: these backend attributes are fixed
+        # for the machine's lifetime, and protocol handlers read them on
+        # every dispatch, so plain attributes beat properties.
+        self.node_id: int = backend.node_id
+        self.num_nodes: int = backend.num_nodes
+        self.layout: AddressLayout = backend.layout
+        self.engine: Engine = backend.engine
+        self.stats: Stats = backend.stats
+        self.image: MemoryImage = backend.image
+        self._tags = backend.tags
+        self._send_message = backend.send_message
         # Eager: every node must have the bulk receive handlers installed
         # before any peer can target it with a transfer.
         self._bulk_engine = BulkTransferEngine(backend)
-
-    # ------------------------------------------------------------------
-    # Identity
-    # ------------------------------------------------------------------
-    @property
-    def node_id(self) -> int:
-        return self._backend.node_id
-
-    @property
-    def num_nodes(self) -> int:
-        return self._backend.num_nodes
-
-    @property
-    def layout(self) -> AddressLayout:
-        return self._backend.layout
-
-    @property
-    def engine(self) -> Engine:
-        return self._backend.engine
-
-    @property
-    def stats(self) -> Stats:
-        return self._backend.stats
-
-    @property
-    def image(self) -> MemoryImage:
-        return self._backend.image
 
     # ------------------------------------------------------------------
     # Mechanism 1: low-overhead messages (Section 2.1)
@@ -117,7 +101,7 @@ class Tempest:
         **payload: Any,
     ) -> None:
         """Send an active message; the handler runs on ``dst``'s NP."""
-        self._backend.send_message(
+        self._send_message(
             Message(
                 src=self.node_id,
                 dst=dst,
@@ -178,39 +162,39 @@ class Tempest:
     # Mechanism 4: fine-grain access control (Section 2.4 / Table 1)
     # ------------------------------------------------------------------
     def read_tag(self, addr: int) -> Tag:
-        return self._backend.tags.read_tag(addr)
+        return self._tags.read_tag(addr)
 
     def set_rw(self, addr: int) -> None:
-        self._backend.tags.set_rw(addr)
+        self._tags.set_rw(addr)
 
     def set_ro(self, addr: int) -> None:
         """Downgrade to ReadOnly; the CPU's cached copy loses ownership."""
-        self._backend.tags.set_ro(addr)
-        self._backend.downgrade_cpu_copy(self._backend.layout.block_of(addr))
+        self._tags.set_ro(addr)
+        self._backend.downgrade_cpu_copy(self.layout.block_of(addr))
 
     def set_busy(self, addr: int) -> None:
-        self._backend.tags.set_tag(addr, Tag.BUSY)
+        self._tags.set_tag(addr, Tag.BUSY)
 
     def invalidate(self, addr: int) -> None:
         """Table 1 ``invalidate``: set Invalid *and* invalidate local copies."""
-        self._backend.tags.invalidate(addr)
-        self._backend.invalidate_cpu_copy(self._backend.layout.block_of(addr))
+        self._tags.invalidate(addr)
+        self._backend.invalidate_cpu_copy(self.layout.block_of(addr))
 
     def force_read(self, addr: int) -> Any:
         """Load without tag check (NP accesses bypass the RTLB check)."""
-        return self._backend.image.read(addr)
+        return self.image.read(addr)
 
     def force_write(self, addr: int, value: Any) -> None:
         """Store without tag check."""
-        self._backend.image.write(addr, value)
+        self.image.write(addr, value)
 
     def export_block(self, block_addr: int) -> dict[int, Any]:
         """Force-read a whole block (for building data-carrying messages)."""
-        return self._backend.image.export_block(block_addr)
+        return self.image.export_block(block_addr)
 
     def import_block(self, block_addr: int, payload: dict[int, Any]) -> None:
         """Force-write a whole block (message handlers filling stache pages)."""
-        self._backend.image.import_block(block_addr, payload)
+        self.image.import_block(block_addr, payload)
 
     def was_written(self, addr: int) -> bool:
         """Has this node stored to the block since it last gained it?

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Generator
 
-from repro.memory.address import AddressLayout
+from repro.memory.address import SHARED_BASE, AddressLayout
 from repro.memory.cache import Cache, LineState
 from repro.memory.data import MemoryImage
 from repro.memory.page_table import PageTable
@@ -71,6 +71,28 @@ class TyphoonNode:
         self.np = NetworkProcessor(self, machine.config.typhoon)
         self.tempest = Tempest(self)
         self.page_fault_handler: PageFaultHandler | None = None
+        # Hot-path stat keys, precomputed so the per-reference path does
+        # no string formatting.
+        self._refs_key = f"{self._prefix}.cpu.refs"
+        self._access_cycles_key = f"{self._prefix}.cpu.access_cycles"
+        self._tlb_misses_key = f"{self._prefix}.cpu.tlb_misses"
+        self._block_faults_key = f"{self._prefix}.cpu.block_faults"
+        self._local_misses_key = f"{self._prefix}.cpu.local_misses"
+        self._fills_killed_key = f"{self._prefix}.cpu.fills_killed"
+        self._messages_sent_key = f"{self._prefix}.np.messages_sent"
+        # Address arithmetic and container handles for the per-reference
+        # path.  The TLB / page-table dicts are stable objects (cleared in
+        # place, never reassigned), so caching them here is safe.
+        layout = self.layout
+        self._page_shift = layout.page_size.bit_length() - 1
+        self._page_mask = ~(layout.page_size - 1)
+        self._block_mask = ~(layout.block_size - 1)
+        self._hit_cycles = self.config.cache_hit_cycles
+        self._tlb_entries = self.cpu_tlb._entries
+        self._pt_entries = self.page_table._entries
+        self._counters = machine.stats._counters
+        self._image_read = self.image.read
+        self._image_write = self.image.write
         #: Blocks written since this node last gained them (the M-vs-E
         #: distinction an ownership bus provides); cleared on downgrade
         #: or invalidation.  Custom protocols use it (e.g. migratory
@@ -87,7 +109,7 @@ class TyphoonNode:
         return self.machine.num_nodes
 
     def send_message(self, message: Message) -> None:
-        self.stats.incr(f"{self._prefix}.np.messages_sent")
+        self._counters[self._messages_sent_key] += 1
         self.np.send(message)
 
     def invalidate_cpu_copy(self, block_addr: int) -> None:
@@ -115,43 +137,103 @@ class TyphoonNode:
     # ------------------------------------------------------------------
     # CPU access path
     # ------------------------------------------------------------------
+    def access_inline(self, addr: int, is_write: bool, value: Any = None):
+        """Service a full TLB + cache hit without touching the event queue.
+
+        The WWT direct-execution trick applied to CPython overhead: the
+        common case — mapped page, TLB hit, cache hit, no pending event
+        in the hit window — is detected with side-effect-free probes and
+        then committed in one call: counters, data image, history, and
+        the inline clock advance.  Returns ``(result,)`` on success, or
+        None (having changed **nothing**) when the general :meth:`access`
+        generator must run instead.
+
+        The engine window is checked *first*: in lock-step multi-node
+        phases another node almost always has an event inside the hit
+        window, and that rejection must cost a couple of attribute reads,
+        not a TLB/cache probe that :meth:`access` then repeats.
+        """
+        engine = self.engine
+        if engine._fifo:
+            return None
+        hit_cycles = self._hit_cycles
+        target = engine.now + hit_cycles
+        queue = engine._queue
+        if queue and queue[0][0] <= target:
+            return None
+        until = engine._until
+        if until is not None and target > until:
+            return None
+        if (addr >> self._page_shift) not in self._tlb_entries:
+            return None
+        block = addr & self._block_mask
+        line = self.cache.lookup(block)
+        if line is None or (is_write and line.state is LineState.SHARED):
+            return None
+        shared = addr >= SHARED_BASE
+        if shared and (addr & self._page_mask) not in self._pt_entries:
+            return None
+        # Commit: identical effects to the generator path's hit branch.
+        # The probes above cannot schedule events, so the window check
+        # still holds and the clock can move directly.
+        engine.now = target
+        self.cpu_tlb.hits += 1
+        self.cache.hits += 1
+        counters = self._counters
+        counters[self._refs_key] += 1
+        if is_write:
+            self._image_write(addr, value)
+            if shared:
+                self.written_blocks.add(block)
+            result = None
+        else:
+            result = value = self._image_read(addr)
+        counters[self._access_cycles_key] += hit_cycles
+        if self.machine.history is not None:
+            self.machine.history.record(
+                self.node_id, addr, is_write, value,
+                engine.now - hit_cycles, engine.now,
+            )
+        return (result,)
+
     def access(self, addr: int, is_write: bool, value: Any = None) -> Generator:
         """One CPU load or store; a generator the worker drives.
 
         Returns the loaded value (reads) or None (writes).
         """
-        self.stats.incr(f"{self._prefix}.cpu.refs")
+        counters = self._counters
+        counters[self._refs_key] += 1
         start = self.engine.now
-        if not self.cpu_tlb.access(self.layout.page_number(addr)):
-            self.stats.incr(f"{self._prefix}.cpu.tlb_misses")
+        if not self.cpu_tlb.access(addr >> self._page_shift):
+            counters[self._tlb_misses_key] += 1
             yield self.config.tlb.miss_cycles
 
-        shared = AddressLayout.is_shared(addr)
-        block = self.layout.block_of(addr)
+        shared = addr >= SHARED_BASE
+        block = addr & self._block_mask
         while True:
-            if shared and not self.page_table.is_mapped(addr):
+            if shared and (addr & self._page_mask) not in self._pt_entries:
                 yield from self._handle_page_fault(addr, is_write)
                 continue
             if self.cache.access(block, is_write):
-                yield self.config.cache_hit_cycles
+                yield self._hit_cycles
                 return self._complete(addr, is_write, value, start)
             # Miss: a bus transaction, monitored by the NP for shared pages.
             if shared:
                 fault = self.tags.check(addr, is_write)
                 if fault is not None:
-                    self.stats.incr(f"{self._prefix}.cpu.block_faults")
+                    counters[self._block_faults_key] += 1
                     suspension = self.thread.suspend()
                     self.np.enqueue_fault(fault)
                     yield suspension
                     continue  # retry the whole access
             yield self.config.local_miss_cycles
-            self.stats.incr(f"{self._prefix}.cpu.local_misses")
+            counters[self._local_misses_key] += 1
             if shared and self.tags.check(addr, is_write) is not None:
                 # The NP invalidated (or downgraded) the block while our
                 # fill was on the bus: the transaction ends "relinquish
                 # and retry" instead of installing a stale line.  Loop;
                 # the retried access takes the fault path properly.
-                self.stats.incr(f"{self._prefix}.cpu.fills_killed")
+                counters[self._fills_killed_key] += 1
                 continue
             if shared and self.tags.read_tag(addr) is Tag.READ_ONLY:
                 state = LineState.SHARED  # NP asserts the "shared" line
@@ -166,14 +248,13 @@ class TyphoonNode:
     def _complete(self, addr: int, is_write: bool, value: Any,
                   start: float) -> Any:
         if is_write:
-            self.image.write(addr, value)
-            if AddressLayout.is_shared(addr):
-                self.written_blocks.add(self.layout.block_of(addr))
+            self._image_write(addr, value)
+            if addr >= SHARED_BASE:
+                self.written_blocks.add(addr & self._block_mask)
             result = None
         else:
-            result = value = self.image.read(addr)
-        self.stats.incr(f"{self._prefix}.cpu.access_cycles",
-                        self.engine.now - start)
+            result = value = self._image_read(addr)
+        self._counters[self._access_cycles_key] += self.engine.now - start
         if self.machine.history is not None:
             self.machine.history.record(
                 self.node_id, addr, is_write, value, start, self.engine.now

@@ -46,6 +46,17 @@ class NetworkProcessor:
         self.engine = node.engine
         self.stats = node.stats
         self._prefix = f"node{node.node_id}.np"
+        # Hot-path stat keys, precomputed so the per-message path does no
+        # string formatting.
+        self._received_key = f"{self._prefix}.messages_received"
+        self._handler_cycles_key = f"{self._prefix}.handler_cycles"
+        self._np_tlb_misses_key = f"{self._prefix}.np_tlb_misses"
+        self._block_faults_key = f"{self._prefix}.block_faults"
+        self._page_shift = node.layout.page_size.bit_length() - 1
+        # Raw counter dict (defaultdict) and handler table, cached so the
+        # per-message path skips two method calls.
+        self._counters = node.stats._counters
+        self._handlers = node.registry._handlers
 
         self._response_queue: deque[Message] = deque()
         self._request_queue: deque[Message] = deque()
@@ -83,7 +94,7 @@ class NetworkProcessor:
         queue to empty.  The user buffer is drained into the network by
         software as queue space becomes available."
         """
-        vnet = int(message.vnet)
+        vnet = message.vnet
         if self._in_flight[vnet] >= self.costs.send_queue_depth:
             self._overflow.append(message)
             self.stats.incr(f"{self._prefix}.sends_overflowed")
@@ -91,10 +102,11 @@ class NetworkProcessor:
                 f"{self._prefix}.overflow_peak", len(self._overflow)
             )
             return
-        self._inject(message)
+        self._in_flight[vnet] += 1
+        self._launch(message)
 
     def _inject(self, message: Message) -> None:
-        self._in_flight[int(message.vnet)] += 1
+        self._in_flight[message.vnet] += 1
         self._launch(message)
 
     def _launch(self, message: Message) -> None:
@@ -103,11 +115,11 @@ class NetworkProcessor:
 
     def _on_delivered(self, message: Message) -> None:
         """Credit return: queue space freed; drain the overflow buffer."""
-        self._in_flight[int(message.vnet)] -= 1
+        self._in_flight[message.vnet] -= 1
         if not self._overflow:
             return
         for index, waiting in enumerate(self._overflow):
-            vnet = int(waiting.vnet)
+            vnet = waiting.vnet
             if self._in_flight[vnet] < self.costs.send_queue_depth:
                 del self._overflow[index]
                 # Reserve the slot immediately so a concurrent credit
@@ -128,13 +140,13 @@ class NetworkProcessor:
             self._response_queue.append(message)
         else:
             self._request_queue.append(message)
-        self.stats.incr(f"{self._prefix}.messages_received")
+        self._counters[self._received_key] += 1
         self._pump()
 
     def enqueue_fault(self, fault: AccessFault) -> None:
         """BAF-buffer arrival (the bus monitor captured a faulting access)."""
         self._baf_buffer.append(fault)
-        self.stats.incr(f"{self._prefix}.block_faults")
+        self._counters[self._block_faults_key] += 1
         for observer in getattr(self.node.machine, "fault_observers", ()):
             observer(fault)
         self._pump()
@@ -157,14 +169,16 @@ class NetworkProcessor:
             self._start_message(self._request_queue.popleft())
 
     def _start_message(self, message: Message) -> None:
-        spec = self.node.registry.lookup(message.handler)
+        spec = self._handlers.get(message.handler)
+        if spec is None:
+            spec = self.node.registry.lookup(message.handler)  # raises
         cost = spec.instructions * self.costs.cycles_per_instruction
         # Handlers that touch a block's memory go through the NP TLB.
         addr = message.payload.get("addr")
         if addr is not None:
-            if not self.np_tlb.access(self.node.layout.page_number(addr)):
+            if not self.np_tlb.access(addr >> self._page_shift):
                 cost += self.costs.np_tlb_miss
-                self.stats.incr(f"{self._prefix}.np_tlb_misses")
+                self._counters[self._np_tlb_misses_key] += 1
         self._begin(cost, spec.fn, message)
 
     def _start_fault(self, fault: AccessFault) -> None:
@@ -190,7 +204,7 @@ class NetworkProcessor:
 
     def _begin(self, cost: int, fn, argument) -> None:
         self._busy = True
-        self.stats.incr(f"{self._prefix}.handler_cycles", cost)
+        self._counters[self._handler_cycles_key] += cost
         self.engine.schedule(cost, self._execute, fn, argument)
 
     def _execute(self, fn, argument) -> None:
@@ -199,7 +213,7 @@ class NetworkProcessor:
         extra = self._extra_charge
         self._extra_charge = 0
         if extra:
-            self.stats.incr(f"{self._prefix}.handler_cycles", extra)
+            self._counters[self._handler_cycles_key] += extra
             self.engine.schedule(extra, self._finish)
         else:
             self._finish()

@@ -55,3 +55,30 @@ def test_fluent_defaults():
     assert sweep.cells == 1
     result = sweep.run(nodes=2)
     assert len(result.rows) == 1
+
+
+def test_cell_list_matches_serial_row_order():
+    cells = small_sweep().cell_list(nodes=2)
+    assert len(cells) == 4
+    rows = small_sweep().run(nodes=2).rows
+    for cell, row in zip(cells, rows):
+        system, app_name, dataset, cache_bytes, seed, _nodes = cell
+        assert (row["system"], row["application"], row["dataset"],
+                row["cache"], row["seed"]) == (
+            system, app_name, dataset, cache_bytes, seed)
+
+
+def test_parallel_run_matches_serial_row_for_row():
+    serial = small_sweep().run(nodes=2)
+    parallel = small_sweep().run(nodes=2, workers=4)
+    assert len(parallel.rows) == len(serial.rows)
+    for left, right in zip(serial.rows, parallel.rows):
+        assert left == right
+
+
+def test_parallel_progress_reaches_total():
+    seen = []
+    small_sweep().run(nodes=2, workers=2,
+                      progress=lambda done, total: seen.append((done, total)))
+    assert seen[-1] == (4, 4)
+    assert [done for done, _ in seen] == [1, 2, 3, 4]

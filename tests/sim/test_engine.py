@@ -137,3 +137,142 @@ def test_exception_in_event_propagates():
     engine.schedule(1, boom)
     with pytest.raises(ValueError):
         engine.run()
+
+
+# ----------------------------------------------------------------------
+# Zero-delay fast lane: ordering must be bit-identical to a single heap.
+# ----------------------------------------------------------------------
+
+def test_zero_delay_interleaved_with_same_cycle_heap_events():
+    """Heap events for the current cycle scheduled *before* a zero-delay
+    event must fire first (smaller seq); scheduled *after*, they fire
+    after.  This is the (time, seq) merge across the two lanes."""
+    engine = Engine()
+    fired = []
+
+    def at_five():
+        engine.schedule_at(5, fired.append, "heap-before")   # heap lane, seq n
+        engine.schedule(0, fired.append, "fifo-middle")      # fifo lane, seq n+1
+        engine.schedule_at(5, fired.append, "heap-after")    # heap lane, seq n+2
+
+    engine.schedule(5, at_five)
+    engine.run()
+    assert fired == ["heap-before", "fifo-middle", "heap-after"]
+
+
+def test_zero_delay_chain_precedes_future_heap_events():
+    engine = Engine()
+    fired = []
+    engine.schedule(3, fired.append, "later")
+
+    def chain(depth):
+        fired.append(f"zero-{depth}")
+        if depth < 3:
+            engine.schedule(0, chain, depth + 1)
+
+    engine.schedule(0, chain, 0)
+    engine.run()
+    assert fired == ["zero-0", "zero-1", "zero-2", "zero-3", "later"]
+    assert engine.now == 3
+
+
+def test_cancelled_zero_delay_husks_are_skipped():
+    engine = Engine()
+    fired = []
+    keep_a = engine.schedule(0, fired.append, "a")
+    drop = engine.schedule(0, fired.append, "dropped")
+    keep_b = engine.schedule(0, fired.append, "b")
+    drop.cancel()
+    drop.cancel()  # idempotent
+    assert engine.pending == 2
+    engine.run()
+    assert fired == ["a", "b"]
+    assert keep_a.fired and keep_b.fired and not drop.fired
+
+
+def test_cancel_after_fire_is_a_no_op():
+    engine = Engine()
+    event = engine.schedule(1, lambda: None)
+    engine.run()
+    event.cancel()
+    assert engine.pending == 0  # must not go negative
+
+
+def test_schedule_at_current_time_uses_fast_lane_in_order():
+    engine = Engine()
+    fired = []
+
+    def now_and_later():
+        engine.schedule_at(engine.now, fired.append, "at-now-1")
+        engine.schedule(0, fired.append, "delay-0")
+        engine.schedule_at(engine.now, fired.append, "at-now-2")
+
+    engine.schedule(2, now_and_later)
+    engine.run()
+    assert fired == ["at-now-1", "delay-0", "at-now-2"]
+
+
+# ----------------------------------------------------------------------
+# Inline clock advance (try_advance)
+# ----------------------------------------------------------------------
+
+def test_try_advance_moves_clock_when_queue_cannot_interfere():
+    engine = Engine()
+    engine.schedule(100, lambda: None)
+    assert engine.try_advance(50) is True
+    assert engine.now == 50
+    engine.run()
+    assert engine.now == 100
+
+
+def test_try_advance_refuses_when_event_in_window():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    assert engine.try_advance(10) is False   # boundary: event at target
+    assert engine.try_advance(15) is False   # event strictly inside window
+    assert engine.now == 0
+
+
+def test_try_advance_refuses_when_fifo_nonempty():
+    engine = Engine()
+    engine.schedule(0, lambda: None)
+    assert engine.try_advance(5) is False
+    assert engine.now == 0
+
+
+def test_try_advance_honours_run_until_bound():
+    engine = Engine()
+    observed = []
+
+    def probe():
+        observed.append(engine.try_advance(100))  # would cross until=20
+        observed.append(engine.try_advance(10))   # stays inside the bound
+        observed.append(engine.now)
+
+    engine.schedule(5, probe)
+    engine.run(until=20)
+    assert observed == [False, True, 15]
+    assert engine.now == 20
+
+
+def test_try_advance_negative_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.try_advance(-1)
+
+
+def test_run_until_with_mixed_lanes_stops_at_bound():
+    engine = Engine()
+    fired = []
+    engine.schedule(5, fired.append, "in")
+    engine.schedule(30, fired.append, "out")
+
+    def spawn_zero():
+        engine.schedule(0, fired.append, "zero")
+
+    engine.schedule(10, spawn_zero)
+    engine.run(until=20)
+    assert fired == ["in", "zero"]
+    assert engine.now == 20
+    engine.run()
+    assert fired == ["in", "zero", "out"]
