@@ -27,7 +27,7 @@ from repro.memory.data import MemoryImage
 from repro.memory.page_table import PageTable
 from repro.memory.tags import Tag, TagStore
 from repro.memory.tlb import Tlb
-from repro.network.message import Message, VirtualNetwork
+from repro.network.message import Message, NACK_HANDLER, VirtualNetwork
 from repro.sim.engine import SimulationError
 from repro.sim.process import Future
 from repro.tempest.interface import Tempest
@@ -105,6 +105,8 @@ class BlizzardNode:
         self.written_blocks: set[int] = set()
         self._inbox: deque[Message] = deque()
         self._arrival: Future | None = None
+        # Fault injection: inbox bound (None = unbounded, the default).
+        self._recv_limit: int | None = None
         # Hot-path stat keys, precomputed so the per-reference path does
         # no string formatting.
         self._refs_key = f"{self._prefix}.cpu.refs"
@@ -156,15 +158,38 @@ class BlizzardNode:
     def set_page_fault_handler(self, handler) -> None:
         self.page_fault_handler = handler
 
+    def install_faults(self, plan) -> None:
+        """Apply a bound FaultPlan's inbox bound (no NP, so no stalls)."""
+        self._recv_limit = plan.spec.recv_queue_limit
+
     # ------------------------------------------------------------------
     # Message arrival and CPU-side servicing
     # ------------------------------------------------------------------
     def _receive(self, message: Message) -> None:
+        # Bounded inbox (fault injection): refuse tracked requests beyond
+        # the limit — responses must always sink (deadlock discipline),
+        # and untracked messages have no retransmit path.
+        if (self._recv_limit is not None and message.xid is not None
+                and message.vnet is not VirtualNetwork.RESPONSE
+                and len(self._inbox) >= self._recv_limit):
+            self._nack(message)
+            return
         self._inbox.append(message)
         if self._arrival is not None:
             arrival, self._arrival = self._arrival, None
             if not arrival.done:
                 arrival.resolve(None)
+
+    def _nack(self, message: Message) -> None:
+        """Bounce an NI-level NACK; the sender's transport retransmits."""
+        message.nacked = True
+        self.stats.incr(f"{self._prefix}.sw.nacks_sent")
+        self.stats.incr("tempest.nacks_sent")
+        self.machine.interconnect.send(Message(
+            src=self.node_id, dst=message.src, handler=NACK_HANDLER,
+            vnet=VirtualNetwork.RESPONSE, size_words=2,
+            payload={"xid": message.xid},
+        ))
 
     def _pick_next_message(self) -> Message:
         """Response-network messages first (the deadlock discipline)."""

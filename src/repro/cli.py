@@ -79,6 +79,13 @@ _REGISTRY = {
             experiments.run_message_economy(nodes=args.nodes, seed=args.seed)
         ],
     ),
+    "reliability": (
+        "Protocol resilience ladder under injected network faults",
+        lambda args: [
+            experiments.run_reliability_ladder(nodes=min(args.nodes, 4),
+                                               seed=args.seed)
+        ],
+    ),
     "ablations": (
         "NP-speed, topology, contention, and first-touch ablations",
         lambda args: [

@@ -45,9 +45,17 @@ def build_machine(system: str, config: MachineConfig):
     raise ValueError(f"unknown system {system!r}; expected one of {SYSTEMS}")
 
 
-def run_application(system: str, app, config: MachineConfig) -> dict[str, Any]:
-    """Run ``app`` on a fresh machine; returns timing and key statistics."""
+def run_application(system: str, app, config: MachineConfig,
+                    faults=None) -> dict[str, Any]:
+    """Run ``app`` on a fresh machine; returns timing and key statistics.
+
+    ``faults`` (a FaultSpec/FaultPlan, see :mod:`repro.network.faults`)
+    activates deterministic fault injection; None or a null plan leaves
+    the machine bit-identical to an un-faulted run.
+    """
     machine, protocol = build_machine(system, config)
+    if faults is not None:
+        machine.install_fault_plan(faults)
     execution_time = run_app(machine, app, protocol)
     stats = machine.stats
     return {

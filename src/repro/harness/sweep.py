@@ -37,17 +37,24 @@ from repro.harness.workloads import workload
 from repro.sim.config import MachineConfig
 
 
-def _run_cell(cell: tuple[str, str, str, int, int, int]) -> dict[str, Any]:
+def _run_cell(cell: tuple) -> dict[str, Any]:
     """Run one sweep cell and return its (picklable) result row.
 
     Module-level so :mod:`multiprocessing` can ship it to pool workers;
     the machine object itself never crosses the process boundary — only
-    the scalar row values do.
+    the scalar row values do.  Cells are 6-tuples; a sweep with a fault
+    axis appends a FaultSpec (or None) as a seventh element, and its rows
+    gain ``faults``/``retries``/``nacks`` columns.
     """
-    system, app_name, dataset, cache_bytes, seed, nodes = cell
+    faults = None
+    if len(cell) == 7:
+        system, app_name, dataset, cache_bytes, seed, nodes, faults = cell
+    else:
+        system, app_name, dataset, cache_bytes, seed, nodes = cell
     config = MachineConfig(nodes=nodes, seed=seed).with_cache_size(cache_bytes)
-    outcome = run_application(system, workload(app_name, dataset).build(), config)
-    return {
+    outcome = run_application(system, workload(app_name, dataset).build(),
+                              config, faults=faults)
+    row = {
         "system": system,
         "application": app_name,
         "dataset": dataset,
@@ -57,6 +64,12 @@ def _run_cell(cell: tuple[str, str, str, int, int, int]) -> dict[str, Any]:
         "refs": outcome["refs"],
         "remote_packets": outcome["remote_packets"],
     }
+    if len(cell) == 7:
+        stats = outcome["machine"].stats
+        row["faults"] = faults.name if faults is not None else "none"
+        row["retries"] = stats.get("tempest.retries")
+        row["nacks"] = stats.get("tempest.nacks_sent")
+    return row
 
 
 class Sweep:
@@ -67,6 +80,9 @@ class Sweep:
         self._workloads: list[tuple[str, str]] = [("ocean", "small")]
         self._cache_sizes: list[int] = [8192]
         self._seeds: list[int] = [42]
+        #: Fault-matrix axis; None means "no axis" (6-tuple cells, no
+        #: faults columns — the backward-compatible default).
+        self._faults: list | None = None
 
     # ------------------------------------------------------------------
     def systems(self, *names: str) -> "Sweep":
@@ -85,19 +101,40 @@ class Sweep:
         self._seeds = list(seeds)
         return self
 
+    def faults(self, *specs) -> "Sweep":
+        """Add a fault-matrix axis: FaultSpec values (None = reliable).
+
+        With this axis present, cells become 7-tuples and result rows
+        gain ``faults`` (the spec's name), ``retries`` and ``nacks``
+        columns — the shape ``run_reliability_ladder`` reports.
+        """
+        self._faults = list(specs) if specs else None
+        return self
+
     # ------------------------------------------------------------------
     @property
     def cells(self) -> int:
         return (len(self._systems) * len(self._workloads)
-                * len(self._cache_sizes) * len(self._seeds))
+                * len(self._cache_sizes) * len(self._seeds)
+                * (len(self._faults) if self._faults is not None else 1))
 
-    def cell_list(self, nodes: int = 8) -> list[tuple[str, str, str, int, int, int]]:
-        """The sweep's cells in canonical order (workloads, cache, seed, system)."""
+    def cell_list(self, nodes: int = 8) -> list[tuple]:
+        """The sweep's cells in canonical order (workloads, cache, seed,
+        [faults,] system)."""
+        if self._faults is None:
+            return [
+                (system, app_name, dataset, cache_bytes, seed, nodes)
+                for app_name, dataset in self._workloads
+                for cache_bytes in self._cache_sizes
+                for seed in self._seeds
+                for system in self._systems
+            ]
         return [
-            (system, app_name, dataset, cache_bytes, seed, nodes)
+            (system, app_name, dataset, cache_bytes, seed, nodes, spec)
             for app_name, dataset in self._workloads
             for cache_bytes in self._cache_sizes
             for seed in self._seeds
+            for spec in self._faults
             for system in self._systems
         ]
 
@@ -110,11 +147,14 @@ class Sweep:
         but wall-clock time: rows are collected in canonical cell order
         and match a serial run exactly.
         """
+        columns = ["system", "application", "dataset", "cache", "seed",
+                   "cycles", "refs", "remote_packets"]
+        if self._faults is not None:
+            columns += ["faults", "retries", "nacks"]
         result = ExperimentResult(
             "sweep",
             f"{self.cells}-cell sweep at {nodes} nodes",
-            ["system", "application", "dataset", "cache", "seed",
-             "cycles", "refs", "remote_packets"],
+            columns,
         )
         cells = self.cell_list(nodes)
         if workers > 1 and len(cells) > 1:

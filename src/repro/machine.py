@@ -60,8 +60,42 @@ class MachineBase:
         #: Observers called with each AccessFault the hardware captures
         #: (see repro.harness.trace).
         self.fault_observers: list = []
+        #: Active fault-injection plan and its reliable transport (see
+        #: repro.network.faults); both None on a reliable machine.
+        self.fault_plan = None
+        self.transport = None
 
     # ------------------------------------------------------------------
+    def install_fault_plan(self, faults):
+        """Activate fault injection (a FaultPlan, FaultSpec, or None).
+
+        Call after the protocol is installed (nodes must exist).  A null
+        plan installs nothing at all — zero events, zero counters, zero
+        RNG draws — so fixed-seed runs stay bit-identical.  A live plan
+        binds the ``"faults"`` RNG stream, wires a
+        :class:`~repro.tempest.messaging.ReliableTransport` into the
+        interconnect, and applies node-level bounds/stalls on every node
+        that supports them.  Returns the bound plan (None if inert).
+        """
+        from repro.network.faults import FaultPlan
+        from repro.tempest.messaging import ReliableTransport
+
+        plan = FaultPlan.of(faults)
+        if plan is None or plan.is_null:
+            return None
+        plan.bind(self.rng.stream("faults"))
+        transport = ReliableTransport(
+            self.engine, self.interconnect, plan.spec, self.stats
+        )
+        self.fault_plan = plan
+        self.transport = transport
+        self.interconnect.install_faults(plan, transport)
+        for node in self.nodes:
+            install = getattr(node, "install_faults", None)
+            if install is not None:
+                install(plan)
+        return plan
+
     @property
     def num_nodes(self) -> int:
         return self.config.nodes

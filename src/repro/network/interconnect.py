@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.network.message import Message
+from repro.network.message import Message, NACK_HANDLER
 from repro.network.topology import IdealTopology, Mesh2D
 from repro.sim.config import NetworkConfig
 from repro.sim.engine import Engine, SimulationError
@@ -47,9 +47,13 @@ class Interconnect:
         self._sinks: dict[int, Callable[[Message], None]] = {}
         # channel -> earliest time the next delivery may occur (FIFO floor).
         self._channel_clear: dict[tuple[int, int, int], float] = {}
-        #: Observers called with ("send"|"deliver", message); used by the
-        #: protocol trace tool.
+        #: Observers called with ("send"|"deliver"|"drop", message); used
+        #: by the protocol trace tool.
         self.observers: list[Callable[[str, Message], None]] = []
+        # Fault injection (repro.network.faults): both stay None on a
+        # reliable network, keeping the hot path a single pointer test.
+        self._fault_plan = None
+        self._transport = None
 
     # ------------------------------------------------------------------
     def attach(self, node: int, sink: Callable[[Message], None]) -> None:
@@ -57,6 +61,16 @@ class Interconnect:
         if node in self._sinks:
             raise SimulationError(f"node {node} already attached")
         self._sinks[node] = sink
+
+    def install_faults(self, plan, transport) -> None:
+        """Activate a bound FaultPlan and its ReliableTransport.
+
+        Every subsequent remote injection is classified by the plan
+        (drop/dup/delay/reorder) and tracked by the transport until the
+        receiver actually accepts it.
+        """
+        self._fault_plan = plan
+        self._transport = transport
 
     # ------------------------------------------------------------------
     def send(self, message: Message) -> None:
@@ -86,6 +100,28 @@ class Interconnect:
 
         latency = self._latency(message.src, message.dst)
         arrival = now + latency
+        plan = self._fault_plan
+        action = None
+        if plan is not None:
+            transport = self._transport
+            if (transport is not None and message.xid is None
+                    and message.handler != NACK_HANDLER):
+                transport.track(message)
+            action, extra = plan.link_verdict(message)
+            if extra:
+                counters["network.fault_delays"] += 1
+                arrival += extra  # applied before the FIFO floor below
+            if action == "reorder":
+                # Bypass the channel's FIFO floor entirely (and leave the
+                # floor untouched): this packet may overtake earlier ones.
+                counters["network.fault_reorders"] += 1
+                dist = self._latency_dist
+                if dist is None:
+                    dist = self._latency_dist = self.stats.distribution(
+                        "network.latency")
+                dist.add(arrival - now)
+                engine.schedule_at(arrival, self._deliver, message)
+                return
         channel = (message.src, message.dst, message.vnet)
         floor = self._channel_clear.get(channel, 0)
         if arrival < floor:
@@ -95,18 +131,63 @@ class Interconnect:
             self._channel_clear[channel] = arrival + message.size_words
         else:
             self._channel_clear[channel] = arrival
+        if action == "drop":
+            # The packet occupies the channel, then dies at its would-be
+            # arrival.  Excluded from the delivered-latency distribution.
+            counters["network.fault_drops"] += 1
+            engine.schedule_at(arrival, self._drop, message)
+            return
         dist = self._latency_dist
         if dist is None:
             dist = self._latency_dist = self.stats.distribution("network.latency")
         dist.add(arrival - now)
         engine.schedule_at(arrival, self._deliver, message)
+        if action == "dup":
+            # A ghost copy trails the original; the fire-once credit and
+            # the receiver's DeliveryGuard make it harmless.
+            counters["network.fault_dups"] += 1
+            engine.schedule_at(arrival + plan.spec.dup_lag,
+                               self._deliver, message)
 
     def _deliver(self, message: Message) -> None:
         for observer in self.observers:
             observer("deliver", message)
+        transport = self._transport
+        if transport is not None and message.handler == NACK_HANDLER:
+            # NI-level negative acknowledgement: consumed here, never
+            # dispatched to the node's sink.
+            transport.on_nack(message)
+            return
         self._sinks[message.dst](message)
-        if message.on_delivered is not None:
-            message.on_delivered(message)
+        callback = message.on_delivered
+        if callback is not None:
+            # Fire-once: a message can reach delivery more than once
+            # (duplication fault, spurious retransmit); the send-queue
+            # credit must return exactly once.
+            message.on_delivered = None
+            callback(message)
+        if transport is not None and message.xid is not None:
+            if message.nacked:
+                # The sink refused the packet (bounded queue) and sent a
+                # NACK: delivery did not constitute receipt, so the
+                # retransmit timer keeps running.
+                message.nacked = False
+            else:
+                transport.on_receipt(message)
+
+    def _drop(self, message: Message) -> None:
+        """A fault-plan drop: the packet dies in the network.
+
+        The sender's injection-queue credit still returns (the local NI
+        accepted the packet); the reliable transport's timer, which was
+        *not* stopped, will retransmit.
+        """
+        for observer in self.observers:
+            observer("drop", message)
+        callback = message.on_delivered
+        if callback is not None:
+            message.on_delivered = None
+            callback(message)
 
     @property
     def attached_nodes(self) -> list[int]:

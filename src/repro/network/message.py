@@ -50,6 +50,14 @@ class Message:
     size_words: int = 2  # handler word + one argument word, minimum
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     send_time: float = 0
+    #: Reliable-transport transaction id; assigned on first injection when
+    #: a fault plan is active (None on a perfectly reliable network).
+    xid: int | None = None
+    #: Delivery attempt number (1 = original send; retransmits increment).
+    attempt: int = 1
+    #: Set by a receiver that refused the packet (queue bound exceeded) so
+    #: the interconnect knows delivery did not constitute receipt.
+    nacked: bool = False
     #: Invoked at delivery (send-queue credit return); set by senders that
     #: model finite injection queues.
     on_delivered: Callable[["Message"], None] | None = field(
@@ -75,6 +83,11 @@ class Message:
             f"{self.handler} on {self.vnet.name})"
         )
 
+
+#: Handler name of the NI-level negative acknowledgement a bounded
+#: receive queue returns to the sender's reliable transport.  Intercepted
+#: by the interconnect at delivery; never dispatched to an NP handler.
+NACK_HANDLER = "net.nack"
 
 #: Words occupied by a full 32-byte data block in a packet.
 BLOCK_WORDS = 8

@@ -47,6 +47,7 @@ from repro.protocols.directory import DirectoryState, HardwareDirectoryEntry
 from repro.sim.config import MachineConfig
 from repro.sim.engine import SimulationError
 from repro.sim.process import Future
+from repro.tempest.messaging import DeliveryGuard
 
 
 class DirNNBMachine(MachineBase):
@@ -393,12 +394,21 @@ class DirNNBNode:
         self._counters = machine.stats._counters
         self._image_read = machine.shared_image.read
         self._image_write = machine.shared_image.write
+        # Redelivery protection (see repro.network.faults): DirNNB's
+        # dispatch bypasses the handler registry, so duplicate suppression
+        # sits directly in the network sink.  Inert on a reliable network
+        # (every xid is None).
+        self._guard = DeliveryGuard(
+            machine.stats, f"{self._prefix}.dir.duplicates_dropped"
+        )
         machine.interconnect.attach(node_id, self._receive)
 
     # ------------------------------------------------------------------
     # Network sink: directory traffic and cache-side coherence requests
     # ------------------------------------------------------------------
     def _receive(self, message: Message) -> None:
+        if message.xid is not None and self._guard.seen(message.xid):
+            return  # duplicate delivery of an already-processed message
         handler = message.handler
         if handler in ("dir.get", "dir.ack", "dir.wb_data", "dir.repl"):
             self.directory.receive(message)

@@ -45,6 +45,7 @@ from repro.memory.tags import AccessFault, Tag
 from repro.network.message import REQUEST_WORDS, Message, VirtualNetwork
 from repro.sim.engine import SimulationError
 from repro.tempest.interface import Tempest
+from repro.tempest.messaging import DeliveryGuard
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.typhoon.system import TyphoonMachine
@@ -96,22 +97,27 @@ class IvyProtocol:
         self.machine = machine
         for node in machine.nodes:
             tempest = node.tempest
-            tempest.register_handler(self.GET, self._h_get,
-                                     MANAGER_INSTRUCTIONS)
-            tempest.register_handler(self.RECALL, self._h_recall,
-                                     GRANT_INSTRUCTIONS)
-            tempest.register_handler(self.PAGE_SENT, self._h_page_sent,
-                                     MANAGER_INSTRUCTIONS)
-            tempest.register_handler(self.INVAL, self._h_inval,
-                                     INVAL_INSTRUCTIONS)
-            tempest.register_handler(self.ACK, self._h_ack,
-                                     MANAGER_INSTRUCTIONS)
-            tempest.register_handler(self.GRANT, self._h_grant,
-                                     GRANT_INSTRUCTIONS)
-            tempest.register_handler("ivy.fault_read", self._f_read,
-                                     REQUEST_INSTRUCTIONS)
-            tempest.register_handler("ivy.fault_write", self._f_write,
-                                     REQUEST_INSTRUCTIONS)
+            # Redelivery protection (see repro.network.faults): IVY's
+            # handlers are not idempotent (a duplicate ACK under-counts
+            # acks_outstanding; a duplicate GRANT double-resumes), so a
+            # per-node guard keyed on transport transaction ids drops
+            # exact duplicates before they dispatch.
+            guard = DeliveryGuard(
+                machine.stats, f"node{node.node_id}.np.duplicates_dropped"
+            )
+
+            def register(name, fn, instructions,
+                         _tempest=tempest, _guard=guard):
+                _tempest.register_handler(name, _guard.wrap(fn), instructions)
+
+            register(self.GET, self._h_get, MANAGER_INSTRUCTIONS)
+            register(self.RECALL, self._h_recall, GRANT_INSTRUCTIONS)
+            register(self.PAGE_SENT, self._h_page_sent, MANAGER_INSTRUCTIONS)
+            register(self.INVAL, self._h_inval, INVAL_INSTRUCTIONS)
+            register(self.ACK, self._h_ack, MANAGER_INSTRUCTIONS)
+            register(self.GRANT, self._h_grant, GRANT_INSTRUCTIONS)
+            register("ivy.fault_read", self._f_read, REQUEST_INSTRUCTIONS)
+            register("ivy.fault_write", self._f_write, REQUEST_INSTRUCTIONS)
             node.np.set_fault_handler(PAGE_MODE_IVY, False, "ivy.fault_read")
             node.np.set_fault_handler(PAGE_MODE_IVY, True, "ivy.fault_write")
             node.set_page_fault_handler(self._page_fault)

@@ -52,6 +52,7 @@ from repro.network.message import (
 from repro.protocols.directory import DirectoryState, SoftwareDirectoryEntry
 from repro.sim.engine import SimulationError
 from repro.tempest.interface import Tempest
+from repro.tempest.messaging import DeliveryGuard
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.typhoon.system import TyphoonMachine
@@ -99,68 +100,82 @@ class StacheProtocol:
     def install(self, machine: "TyphoonMachine") -> None:
         self.machine = machine
         costs = machine.config.typhoon
+        stats = machine.stats
         for node in machine.nodes:
             tempest = node.tempest
+            # Redelivery protection (see repro.network.faults): each
+            # node's handlers run behind a guard keyed on transport
+            # transaction ids, so duplicated or retransmitted messages
+            # dispatch at most once.  On a reliable network xid is None
+            # and the guard is a single attribute check.
+            guard = DeliveryGuard(
+                stats, f"node{node.node_id}.np.duplicates_dropped"
+            )
+
+            def register(name, fn, instructions,
+                         _tempest=tempest, _guard=guard):
+                _tempest.register_handler(name, _guard.wrap(fn), instructions)
+
             # Request handlers (home side).
-            tempest.register_handler(
+            register(
                 self.GET_RO, self._h_get_ro, costs.home_response_instructions
             )
-            tempest.register_handler(
+            register(
                 self.GET_RW, self._h_get_rw, costs.home_response_instructions
             )
             # Response handlers.
-            tempest.register_handler(
+            register(
                 self.DATA, self._h_data, costs.data_arrival_instructions
             )
-            tempest.register_handler(
+            register(
                 self.ACK, self._h_ack, costs.ack_handler_instructions
             )
-            tempest.register_handler(
+            register(
                 self.WB_DATA, self._h_wb_data, costs.ack_handler_instructions
             )
             # Copy-holder side handlers.
-            tempest.register_handler(
+            register(
                 self.INVAL, self._h_inval, costs.invalidate_handler_instructions
             )
-            tempest.register_handler(
+            register(
                 self.WRITEBACK, self._h_writeback,
                 costs.writeback_handler_instructions,
             )
-            tempest.register_handler(
+            register(
                 self.REPL_DIRTY, self._h_repl_dirty,
                 costs.writeback_handler_instructions,
             )
             # Block-access-fault handlers, selected by (page mode, access).
-            tempest.register_handler(
+            register(
                 self.FAULT_READ, self._f_remote_read,
                 costs.miss_request_instructions,
             )
-            tempest.register_handler(
+            register(
                 self.FAULT_WRITE, self._f_remote_write,
                 costs.miss_request_instructions,
             )
-            tempest.register_handler(
+            register(
                 self.HOME_FAULT_READ, self._f_home_read,
                 costs.home_response_instructions,
             )
-            tempest.register_handler(
+            register(
                 self.HOME_FAULT_WRITE, self._f_home_write,
                 costs.home_response_instructions,
             )
             # Extensions: prefetch launch, check-in, page migration.
-            tempest.register_handler(
+            register(
                 self.PREFETCH, self._h_prefetch,
                 costs.miss_request_instructions,
             )
-            tempest.register_handler(
+            register(
                 self.CHECKIN, self._h_checkin,
                 costs.writeback_handler_instructions,
             )
-            tempest.register_handler(
+            register(
                 "stache.migrate_begin", self._h_migrate_begin,
                 costs.page_fault_instructions,
             )
-            tempest.register_handler(
+            register(
                 "stache.migrate_ready", self._h_migrate_ready,
                 costs.miss_request_instructions,
             )

@@ -13,12 +13,34 @@ their own handlers the same way they would by compiling them.
 
 Handlers execute atomically with respect to other handlers (Section 2.1:
 run-to-completion, non-preemptive), so protocol state needs no locks.
+
+This module also hosts the machinery that makes messaging survive an
+*unreliable* network (see :mod:`repro.network.faults`):
+
+* :class:`ReliableTransport` — machine-level send-side retry with timeout
+  and exponential backoff, NACK handling, and a ``Stats``-visible
+  retry/NACK counter family (``tempest.retries``, ``tempest.nacks_*``,
+  ``tempest.duplicates_dropped``).
+* :class:`DeliveryGuard` — receiver-side idempotency: suppresses exact
+  duplicate deliveries keyed on the transport's transaction ids, so
+  protocol handlers observe at-most-once semantics even when the network
+  duplicates packets or the sender retransmits spuriously.
 """
 
 from __future__ import annotations
 
+import itertools
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.network.message import Message
+from repro.sim.engine import Engine, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.faults import FaultSpec
+    from repro.network.interconnect import Interconnect
+    from repro.sim.stats import Stats
 
 
 class HandlerError(RuntimeError):
@@ -69,3 +91,148 @@ class HandlerRegistry:
 
     def __repr__(self) -> str:
         return f"HandlerRegistry(node={self.node}, handlers={len(self)})"
+
+
+class ReliableTransport:
+    """Send-side reliability: track, time out, back off, retransmit.
+
+    One instance per machine (installed by
+    ``MachineBase.install_fault_plan``).  The interconnect calls
+    :meth:`track` when a fault plan is active and a remote message is
+    first injected; :meth:`on_receipt` when a tracked message is actually
+    received; :meth:`on_nack` when an NI-level NACK comes back.  A
+    retransmit timer runs per transaction; attempt *n*'s timeout is
+    ``retry_timeout * retry_backoff**(n-1)`` cycles.
+
+    ``pending`` maps transaction id -> in-flight message; an empty dict
+    after a run is the "no message permanently lost" oracle the fault
+    property tests assert.
+    """
+
+    def __init__(self, engine: Engine, interconnect: "Interconnect",
+                 spec: "FaultSpec", stats: "Stats"):
+        self.engine = engine
+        self.interconnect = interconnect
+        self.spec = spec
+        self.stats = stats
+        #: Transaction id -> message awaiting receipt.
+        self.pending: dict[int, Message] = {}
+        self._timers: dict[int, Any] = {}
+        self._next_xid = itertools.count(1)
+
+    # -- interconnect hooks ---------------------------------------------
+    def track(self, message: Message) -> None:
+        """Assign a transaction id and arm the retransmit timer."""
+        xid = next(self._next_xid)
+        message.xid = xid
+        self.pending[xid] = message
+        self.stats.incr("tempest.tracked_sends")
+        self._arm(xid, message)
+
+    def on_receipt(self, message: Message) -> None:
+        """A tracked message reached its receiver: stop retrying it."""
+        if self.pending.pop(message.xid, None) is None:
+            return  # duplicate of an already-received message
+        timer = self._timers.pop(message.xid, None)
+        if timer is not None:
+            timer.cancel()
+
+    def on_nack(self, nack: Message) -> None:
+        """Receiver refused the packet: retransmit after ``nack_backoff``."""
+        xid = nack.payload.get("xid")
+        if xid not in self.pending:
+            return  # stale NACK (original was retransmitted and received)
+        self.stats.incr("tempest.nacks_received")
+        timer = self._timers.pop(xid, None)
+        if timer is not None:
+            timer.cancel()
+        self._timers[xid] = self.engine.schedule(
+            self.spec.nack_backoff, self._timeout, xid
+        )
+
+    # -- timers ---------------------------------------------------------
+    def _arm(self, xid: int, message: Message) -> None:
+        timeout = (
+            self.spec.retry_timeout
+            * self.spec.retry_backoff ** (message.attempt - 1)
+        )
+        self._timers[xid] = self.engine.schedule(timeout, self._timeout, xid)
+
+    def _timeout(self, xid: int) -> None:
+        message = self.pending.get(xid)
+        if message is None:
+            return  # received while the timer was in flight
+        if message.attempt >= self.spec.max_attempts:
+            raise SimulationError(
+                f"message xid={xid} ({message.handler} "
+                f"{message.src}->{message.dst}) undelivered after "
+                f"{message.attempt} attempts"
+            )
+        message.attempt += 1
+        message.nacked = False
+        self.stats.incr("tempest.retries")
+        self._arm(xid, message)
+        # Retransmits re-enter the network with xid already set, so the
+        # interconnect does not re-track them; on_delivered is left alone
+        # (the fire-once delivery path returns the send-queue credit for
+        # whichever copy lands first).
+        self.interconnect.send(message)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self.pending)
+
+    def __repr__(self) -> str:
+        return f"ReliableTransport(pending={len(self.pending)})"
+
+
+class DeliveryGuard:
+    """Receiver-side duplicate suppression keyed on transaction ids.
+
+    Protocol handlers are not idempotent (a surplus ACK under-counts
+    ``acks_outstanding``; a duplicate data grant double-resumes a
+    thread), so each protocol wraps its handlers with a per-node guard:
+    the first delivery of a transaction id runs the handler, later
+    deliveries of the same id are dropped and counted.  Bounded memory:
+    only the most recent ``capacity`` ids are remembered (FIFO eviction),
+    which is far beyond any plausible duplicate lifetime.
+
+    Messages without a transaction id (reliable network, or non-message
+    arguments such as block faults) pass through untouched.
+    """
+
+    __slots__ = ("_seen", "_order", "_capacity", "_stats", "_key")
+
+    def __init__(self, stats: "Stats | None" = None, key: str | None = None,
+                 capacity: int = 4096):
+        self._seen: set[int] = set()
+        self._order: deque[int] = deque()
+        self._capacity = capacity
+        self._stats = stats
+        self._key = key
+
+    def seen(self, xid: int | None) -> bool:
+        """Record ``xid``; True (and counted) if it was already recorded."""
+        if xid is None:
+            return False
+        if xid in self._seen:
+            stats = self._stats
+            if stats is not None:
+                stats.incr("tempest.duplicates_dropped")
+                if self._key is not None:
+                    stats.incr(self._key)
+            return True
+        self._seen.add(xid)
+        self._order.append(xid)
+        if len(self._order) > self._capacity:
+            self._seen.discard(self._order.popleft())
+        return False
+
+    def wrap(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Wrap a handler so duplicate deliveries become no-ops."""
+        def guarded(tempest: Any, message: Any) -> Any:
+            xid = getattr(message, "xid", None)
+            if xid is not None and self.seen(xid):
+                return None
+            return fn(tempest, message)
+        return guarded

@@ -128,6 +128,10 @@ class TyphoonNode:
     def np_charge(self, cycles: int) -> None:
         self.np.charge(cycles)
 
+    def install_faults(self, plan) -> None:
+        """Node-level fault injection lives in the NP (queues, stalls)."""
+        self.np.install_faults(plan)
+
     # ------------------------------------------------------------------
     # Protocol wiring
     # ------------------------------------------------------------------

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING
 
 from repro.memory.tags import AccessFault
 from repro.memory.tlb import Tlb
-from repro.network.message import Message, VirtualNetwork
+from repro.network.message import Message, NACK_HANDLER, VirtualNetwork
 from repro.sim.config import TlbConfig, TyphoonCosts
 from repro.sim.engine import SimulationError
 from repro.typhoon.rtlb import ReverseTlb
@@ -80,6 +80,44 @@ class NetworkProcessor:
         # a transparent overflow buffer so handlers never block on space.
         self._in_flight: dict[int, int] = {0: 0, 1: 0}
         self._overflow: deque[Message] = deque()
+        self._send_depth = costs.send_queue_depth
+
+        # Fault injection (repro.network.faults): all inert until
+        # install_faults is called with a live plan.
+        self._node_id = node.node_id
+        self._fault_plan = None  # non-None only when stall windows are on
+        self._recv_limit: int | None = None
+        self._baf_limit: int | None = None
+        self._stall_wake = False
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def install_faults(self, plan) -> None:
+        """Apply a bound FaultPlan's node-level bounds and stall windows."""
+        spec = plan.spec
+        self._fault_plan = plan if spec.stall_every else None
+        self._recv_limit = spec.recv_queue_limit
+        self._baf_limit = spec.baf_limit
+        if spec.send_queue_depth is not None:
+            self._send_depth = spec.send_queue_depth
+
+    def _nack(self, message: Message) -> None:
+        """Refuse an arriving tracked request: bounce an NI-level NACK.
+
+        The NACK travels on the response network (it must always sink)
+        and is consumed by the sender's interconnect, never dispatched;
+        ``message.nacked`` tells the delivery path that this delivery did
+        not constitute receipt.
+        """
+        message.nacked = True
+        self.stats.incr(f"{self._prefix}.nacks_sent")
+        self.stats.incr("tempest.nacks_sent")
+        self.node.machine.interconnect.send(Message(
+            src=self._node_id, dst=message.src, handler=NACK_HANDLER,
+            vnet=VirtualNetwork.RESPONSE, size_words=2,
+            payload={"xid": message.xid},
+        ))
 
     # ------------------------------------------------------------------
     # Sending (finite send queues + overflow buffer, Section 5.1)
@@ -95,7 +133,7 @@ class NetworkProcessor:
         software as queue space becomes available."
         """
         vnet = message.vnet
-        if self._in_flight[vnet] >= self.costs.send_queue_depth:
+        if self._in_flight[vnet] >= self._send_depth:
             self._overflow.append(message)
             self.stats.incr(f"{self._prefix}.sends_overflowed")
             self.stats.set_max(
@@ -120,7 +158,7 @@ class NetworkProcessor:
             return
         for index, waiting in enumerate(self._overflow):
             vnet = waiting.vnet
-            if self._in_flight[vnet] < self.costs.send_queue_depth:
+            if self._in_flight[vnet] < self._send_depth:
                 del self._overflow[index]
                 # Reserve the slot immediately so a concurrent credit
                 # cannot oversubscribe it; the software drain takes a few
@@ -139,16 +177,40 @@ class NetworkProcessor:
         if message.vnet is VirtualNetwork.RESPONSE:
             self._response_queue.append(message)
         else:
+            # Bounded receive queue (fault injection): only tracked
+            # requests are refused — responses must always sink, and
+            # untracked messages have no retransmit path.
+            if (self._recv_limit is not None and message.xid is not None
+                    and len(self._request_queue) >= self._recv_limit):
+                self._nack(message)
+                return
             self._request_queue.append(message)
         self._counters[self._received_key] += 1
         self._pump()
 
     def enqueue_fault(self, fault: AccessFault) -> None:
         """BAF-buffer arrival (the bus monitor captured a faulting access)."""
-        self._baf_buffer.append(fault)
         self._counters[self._block_faults_key] += 1
         for observer in getattr(self.node.machine, "fault_observers", ()):
             observer(fault)
+        self._present_fault(fault)
+
+    def _present_fault(self, fault: AccessFault) -> None:
+        """Place a fault in the BAF buffer, honouring its capacity bound.
+
+        On overflow the bus monitor re-presents the fault after a drain
+        delay (the Section 4 overflow discussion: faults back up on the
+        bus, they are never lost).  Counted once as a block fault at
+        capture time, however many presentation attempts it takes.
+        """
+        if (self._baf_limit is not None
+                and len(self._baf_buffer) >= self._baf_limit):
+            self.stats.incr(f"{self._prefix}.baf_overflows")
+            self.engine.schedule(
+                self.costs.overflow_drain_cycles, self._present_fault, fault
+            )
+            return
+        self._baf_buffer.append(fault)
         self._pump()
 
     def set_fault_handler(self, mode: int, is_write: bool, handler: str) -> None:
@@ -161,6 +223,18 @@ class NetworkProcessor:
     def _pump(self) -> None:
         if self._busy:
             return
+        plan = self._fault_plan
+        if plan is not None:
+            # Periodic stall windows: the dispatch loop freezes; queued
+            # work waits for the scheduled wake.  Nothing is lost.
+            if self._stall_wake:
+                return
+            wake = plan.stall_until(self._node_id, self.engine.now)
+            if wake is not None:
+                self._stall_wake = True
+                self.stats.incr(f"{self._prefix}.stalls")
+                self.engine.schedule_at(wake, self._end_stall)
+                return
         if self._response_queue:
             self._start_message(self._response_queue.popleft())
         elif self._baf_buffer:
@@ -220,6 +294,10 @@ class NetworkProcessor:
 
     def _finish(self) -> None:
         self._busy = False
+        self._pump()
+
+    def _end_stall(self) -> None:
+        self._stall_wake = False
         self._pump()
 
     # ------------------------------------------------------------------

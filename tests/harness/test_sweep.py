@@ -82,3 +82,47 @@ def test_parallel_progress_reaches_total():
                       progress=lambda done, total: seen.append((done, total)))
     assert seen[-1] == (4, 4)
     assert [done for done, _ in seen] == [1, 2, 3, 4]
+
+
+def fault_sweep():
+    from repro.network.faults import FaultSpec
+
+    return (
+        Sweep()
+        .systems("typhoon-stache")
+        .workloads(("mp3d", "small"))
+        .cache_sizes(2048)
+        .seeds(7)
+        .faults(None, FaultSpec(name="drop5", drop_pct=0.05))
+    )
+
+
+def test_fault_axis_multiplies_cells_and_widens_tuples():
+    sweep = fault_sweep()
+    assert sweep.cells == 2
+    cells = sweep.cell_list(nodes=4)
+    assert all(len(cell) == 7 for cell in cells)
+    assert cells[0][-1] is None
+    assert cells[1][-1].name == "drop5"
+
+
+def test_fault_axis_rows_report_retry_columns():
+    result = fault_sweep().run(nodes=4)
+    assert result.columns[-3:] == ["faults", "retries", "nacks"]
+    reliable, lossy = result.rows
+    assert reliable["faults"] == "none"
+    assert reliable["retries"] == 0
+    assert lossy["faults"] == "drop5"
+    assert lossy["retries"] > 0
+    assert lossy["cycles"] > reliable["cycles"]
+
+
+def test_fault_axis_parallel_matches_serial():
+    serial = fault_sweep().run(nodes=4)
+    parallel = fault_sweep().run(nodes=4, workers=2)
+    assert serial.rows == parallel.rows
+
+
+def test_faultless_sweep_keeps_six_tuple_cells():
+    cells = small_sweep().cell_list(nodes=2)
+    assert all(len(cell) == 6 for cell in cells)

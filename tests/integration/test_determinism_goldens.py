@@ -97,3 +97,27 @@ def test_mp3d_typhoon_stats_digest_pinned(mp3d_outcomes):
         "handler_cycles": 167300.0,
         "messages_received": 4234,
     }
+
+
+def test_mp3d_goldens_bit_identical_with_null_fault_plan():
+    """Installing FaultPlan.none() (or any null spec) changes nothing.
+
+    The fault layer's determinism contract: a null plan installs zero
+    events, zero counters, zero RNG draws, so every pinned golden above
+    holds bit-for-bit with the plan "active"."""
+    from repro.network.faults import FaultPlan, FaultSpec
+
+    for faults in (FaultPlan.none(), FaultSpec(name="none")):
+        for system, expected in MP3D_GOLDENS.items():
+            config = MachineConfig(nodes=4, seed=7).with_cache_size(2048)
+            res = run_application(
+                system, workload("mp3d", "small").build(), config,
+                faults=faults)
+            stats = res["machine"].stats
+            got = (round(res["execution_time"]), round(res["refs"]),
+                   round(res["remote_packets"]),
+                   round(stats.get("network.packets")),
+                   round(stats.get("network.words")))
+            assert got == expected, f"{system} under {faults!r}: {got}"
+            assert res["machine"].fault_plan is None
+            assert res["machine"].transport is None

@@ -1,0 +1,72 @@
+"""The documentation is part of the test surface.
+
+``tools/check_docs.py`` (also CI's ``docs`` job) asserts that every
+intra-repository markdown link resolves and that every ```pycon`` block
+in ``docs/*.md`` runs as a doctest.  These tests run the same checks
+from the suite, plus unit checks of the checker itself.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+
+sys.path.insert(0, str(ROOT / "tools"))
+import check_docs  # noqa: E402
+
+
+def test_check_docs_script_passes():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_docs.py")],
+        capture_output=True, text=True, timeout=540,
+    )
+    assert proc.returncode == 0, proc.stderr or proc.stdout
+    assert "docs ok" in proc.stdout
+
+
+def test_every_docs_page_is_discovered():
+    found = {path.name for path in check_docs.markdown_files()
+             if path.parent.name == "docs"}
+    assert {"faults.md", "observability.md", "simulation.md",
+            "performance.md"} <= found
+
+
+def test_link_checker_catches_broken_links(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "a.md").write_text(
+        "[ok](docs) [bad](missing.md) [ext](https://example.com) [anchor](#x)"
+    )
+    errors = check_docs.check_links(tmp_path)
+    assert len(errors) == 1
+    assert "missing.md" in errors[0]
+
+
+def test_doctest_checker_catches_failing_blocks(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "page.md").write_text(
+        "intro\n\n```pycon\n>>> 1 + 1\n3\n```\n")
+    errors = check_docs.check_doctests(tmp_path)
+    assert len(errors) == 1
+    assert "page.md" in errors[0]
+
+
+def test_doctest_state_carries_across_fences(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "page.md").write_text(
+        "first\n\n```pycon\n>>> x = 41\n```\n\n"
+        "second\n\n```pycon\n>>> x + 1\n42\n```\n")
+    assert check_docs.check_doctests(tmp_path) == []
+
+
+def test_fault_docs_cover_the_public_surface():
+    """Every public symbol of repro.network.faults appears in docs/faults.md."""
+    text = (ROOT / "docs" / "faults.md").read_text()
+    for symbol in ("FaultSpec", "FaultPlan", "RELIABILITY_LADDER",
+                   "drop_pct", "dup_pct", "delay_pct", "reorder_pct",
+                   "stall_every", "recv_queue_limit", "baf_limit",
+                   "send_queue_depth", "retry_timeout", "retry_backoff",
+                   "nack_backoff", "max_attempts", "fault_attempt_limit"):
+        assert symbol in text, f"docs/faults.md does not mention {symbol}"

@@ -68,3 +68,11 @@ def test_figure3_sweep_small():
     out = run_example("figure3_sweep.py", "--nodes", "2", "--apps", "ocean")
     assert "figure3" in out
     assert "ocean" in out
+
+
+def test_every_example_has_a_smoke_test():
+    """New examples must land with a test; this meta-check enforces it."""
+    source = Path(__file__).read_text()
+    for script in sorted(EXAMPLES.glob("*.py")):
+        assert f'"{script.name}"' in source, (
+            f"examples/{script.name} has no run_example() smoke test")

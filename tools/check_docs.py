@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Documentation checks: link integrity and executable examples.
+
+Two passes, both run by CI's ``docs`` job and by
+``tests/integration/test_docs.py``:
+
+1. **Links** — every intra-repository markdown link in every ``*.md``
+   file must resolve to an existing file or directory.  External links
+   (``http``/``https``/``mailto``) and pure anchors are skipped.
+2. **Doctests** — every fenced ```` ```pycon ```` block in ``docs/*.md``
+   is executed with :mod:`doctest` (ELLIPSIS enabled), so the
+   documentation's transcripts cannot drift from the code.
+
+Usage::
+
+    python tools/check_docs.py          # check everything, exit 0/1
+    python tools/check_docs.py --links  # links only
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+#: inline markdown links: [text](target) — target captured without an
+#: optional trailing title.  Reference-style links are not used in this
+#: repository.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE_RE = re.compile(r"^```pycon\s*$(.*?)^```\s*$", re.M | re.S)
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(root: Path = ROOT) -> list[Path]:
+    """Every tracked-looking markdown file under the repository."""
+    return sorted(
+        path for path in root.rglob("*.md")
+        if ".git" not in path.parts and ".hypothesis" not in path.parts
+    )
+
+
+def check_links(root: Path = ROOT) -> list[str]:
+    """Return one error string per broken intra-repo link."""
+    errors = []
+    for path in markdown_files(root):
+        text = path.read_text(encoding="utf-8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                line = text.count("\n", 0, match.start()) + 1
+                errors.append(
+                    f"{path.relative_to(root)}:{line}: broken link "
+                    f"-> {match.group(1)}")
+    return errors
+
+
+def pycon_blocks(path: Path) -> list[tuple[int, str]]:
+    """(starting line, source) for each ```pycon fence in ``path``."""
+    text = path.read_text(encoding="utf-8")
+    return [
+        (text.count("\n", 0, match.start()) + 2, match.group(1))
+        for match in _FENCE_RE.finditer(text)
+    ]
+
+
+def check_doctests(root: Path = ROOT) -> list[str]:
+    """Run every docs/*.md pycon block; return one error per failure.
+
+    All blocks within one file share a namespace, so a page can build up
+    state across fences the way an interactive session would.
+    """
+    errors = []
+    parser = doctest.DocTestParser()
+    flags = doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+    for path in sorted((root / "docs").glob("*.md")):
+        globs: dict = {}
+        for line, source in pycon_blocks(path):
+            name = f"{path.relative_to(root)}:{line}"
+            test = parser.get_doctest(source, globs, name, str(path), line)
+            runner = doctest.DocTestRunner(optionflags=flags, verbose=False)
+            output: list[str] = []
+            # clear_globs=False: later fences on the page continue the
+            # same session, the way an interactive transcript reads.
+            runner.run(test, out=output.append, clear_globs=False)
+            if runner.failures:
+                errors.append(f"{name}: {runner.failures} doctest "
+                              f"failure(s)\n" + "".join(output))
+            globs = test.globs  # carry state into the next block
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--links", action="store_true",
+                    help="check markdown links only")
+    ap.add_argument("--doctests", action="store_true",
+                    help="run docs/*.md pycon doctests only")
+    args = ap.parse_args(argv)
+    run_links = args.links or not args.doctests
+    run_doctests = args.doctests or not args.links
+
+    errors = []
+    if run_links:
+        errors += check_links()
+    if run_doctests:
+        errors += check_doctests()
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        checked = len(markdown_files())
+        print(f"docs ok: {checked} markdown files checked")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
