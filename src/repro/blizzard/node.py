@@ -209,6 +209,9 @@ class BlizzardNode:
         )
         self._counters[self._handlers_run_key] += 1
         spec.fn(self.tempest, message)
+        monitor = self.machine.conformance
+        if monitor is not None:
+            monitor.after_handler(self.node_id, message)
         extra = self.np.take_charge()
         if extra:
             yield extra
@@ -368,6 +371,9 @@ class BlizzardNode:
             + spec.instructions * self.costs.cycles_per_instruction
         )
         spec.fn(self.tempest, fault)
+        monitor = self.machine.conformance
+        if monitor is not None:
+            monitor.after_handler(self.node_id, fault)
         extra = self.np.take_charge()
         if extra:
             yield extra

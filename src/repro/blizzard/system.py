@@ -30,6 +30,7 @@ class BlizzardMachine(MachineBase):
             raise RuntimeError("a protocol is already installed")
         self.protocol = protocol
         protocol.install(self)
+        self._maybe_auto_conformance()
 
     # ------------------------------------------------------------------
     def barrier_wait(self, node_id: int) -> Generator:
@@ -82,6 +83,8 @@ class BlizzardMachine(MachineBase):
                     message = node._pick_next_message()
                     spec = node.registry.lookup(message.handler)
                     spec.fn(node.tempest, message)
+                    if self.conformance is not None:
+                        self.conformance.after_handler(node.node_id, message)
                     node.np.take_charge()
                     progressed = True
             self.engine.run()

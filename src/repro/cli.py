@@ -86,6 +86,13 @@ _REGISTRY = {
                                                seed=args.seed)
         ],
     ),
+    "conformance": (
+        "Online protocol conformance: every transition checked, per system",
+        lambda args: [
+            experiments.run_conformance_matrix(nodes=min(args.nodes, 4),
+                                               seed=args.seed)
+        ],
+    ),
     "ablations": (
         "NP-speed, topology, contention, and first-touch ablations",
         lambda args: [

@@ -46,14 +46,23 @@ def build_machine(system: str, config: MachineConfig):
 
 
 def run_application(system: str, app, config: MachineConfig,
-                    faults=None) -> dict[str, Any]:
+                    faults=None, conformance: bool = False) -> dict[str, Any]:
     """Run ``app`` on a fresh machine; returns timing and key statistics.
 
     ``faults`` (a FaultSpec/FaultPlan, see :mod:`repro.network.faults`)
     activates deterministic fault injection; None or a null plan leaves
     the machine bit-identical to an un-faulted run.
+
+    ``conformance=True`` enables online protocol conformance checking
+    (see :mod:`repro.protocols.conformance`): the run raises
+    ``CoherenceViolation`` at the first illegal transition, and the
+    returned machine's ``conformance`` monitor reports check counts.
+    Requires a system whose protocol has a spec (the EM3D update
+    protocol deliberately has none).
     """
     machine, protocol = build_machine(system, config)
+    if conformance:
+        machine.enable_conformance()
     if faults is not None:
         machine.install_fault_plan(faults)
     execution_time = run_app(machine, app, protocol)

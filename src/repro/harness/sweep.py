@@ -44,16 +44,23 @@ def _run_cell(cell: tuple) -> dict[str, Any]:
     the machine object itself never crosses the process boundary — only
     the scalar row values do.  Cells are 6-tuples; a sweep with a fault
     axis appends a FaultSpec (or None) as a seventh element, and its rows
-    gain ``faults``/``retries``/``nacks`` columns.
+    gain ``faults``/``retries``/``nacks`` columns.  A conformance axis
+    appends a bool as an eighth element (the fault slot is then always
+    present, None when no fault axis was set), and rows gain
+    ``conformance``/``checks``/``violations`` columns.
     """
     faults = None
-    if len(cell) == 7:
+    conformance = False
+    if len(cell) == 8:
+        (system, app_name, dataset, cache_bytes, seed, nodes,
+         faults, conformance) = cell
+    elif len(cell) == 7:
         system, app_name, dataset, cache_bytes, seed, nodes, faults = cell
     else:
         system, app_name, dataset, cache_bytes, seed, nodes = cell
     config = MachineConfig(nodes=nodes, seed=seed).with_cache_size(cache_bytes)
     outcome = run_application(system, workload(app_name, dataset).build(),
-                              config, faults=faults)
+                              config, faults=faults, conformance=conformance)
     row = {
         "system": system,
         "application": app_name,
@@ -64,11 +71,18 @@ def _run_cell(cell: tuple) -> dict[str, Any]:
         "refs": outcome["refs"],
         "remote_packets": outcome["remote_packets"],
     }
-    if len(cell) == 7:
+    if len(cell) >= 7:
         stats = outcome["machine"].stats
         row["faults"] = faults.name if faults is not None else "none"
         row["retries"] = stats.get("tempest.retries")
         row["nacks"] = stats.get("tempest.nacks_sent")
+    if len(cell) == 8:
+        monitor = outcome["machine"].conformance
+        row["conformance"] = "on" if conformance else "off"
+        row["checks"] = monitor.checks if monitor is not None else 0
+        row["violations"] = (
+            len(monitor.violations) if monitor is not None else 0
+        )
     return row
 
 
@@ -83,6 +97,9 @@ class Sweep:
         #: Fault-matrix axis; None means "no axis" (6-tuple cells, no
         #: faults columns — the backward-compatible default).
         self._faults: list | None = None
+        #: Conformance axis; None means "no axis" (no conformance
+        #: columns).  With it set, cells become 8-tuples.
+        self._conformance: list[bool] | None = None
 
     # ------------------------------------------------------------------
     def systems(self, *names: str) -> "Sweep":
@@ -111,17 +128,32 @@ class Sweep:
         self._faults = list(specs) if specs else None
         return self
 
+    def conformance(self, *flags: bool) -> "Sweep":
+        """Add a conformance axis: run each cell with the monitor on/off.
+
+        ``conformance(True)`` checks every cell; ``conformance(False,
+        True)`` runs each combination both ways (e.g. to confirm the
+        monitor is timing-passive).  With this axis present, cells
+        become 8-tuples and rows gain ``conformance``/``checks``/
+        ``violations`` columns.  All swept systems must have a
+        conformance spec (``typhoon-update`` does not).
+        """
+        self._conformance = list(flags) if flags else None
+        return self
+
     # ------------------------------------------------------------------
     @property
     def cells(self) -> int:
         return (len(self._systems) * len(self._workloads)
                 * len(self._cache_sizes) * len(self._seeds)
-                * (len(self._faults) if self._faults is not None else 1))
+                * (len(self._faults) if self._faults is not None else 1)
+                * (len(self._conformance)
+                   if self._conformance is not None else 1))
 
     def cell_list(self, nodes: int = 8) -> list[tuple]:
         """The sweep's cells in canonical order (workloads, cache, seed,
-        [faults,] system)."""
-        if self._faults is None:
+        [faults, conformance,] system)."""
+        if self._faults is None and self._conformance is None:
             return [
                 (system, app_name, dataset, cache_bytes, seed, nodes)
                 for app_name, dataset in self._workloads
@@ -129,12 +161,23 @@ class Sweep:
                 for seed in self._seeds
                 for system in self._systems
             ]
+        if self._conformance is None:
+            return [
+                (system, app_name, dataset, cache_bytes, seed, nodes, spec)
+                for app_name, dataset in self._workloads
+                for cache_bytes in self._cache_sizes
+                for seed in self._seeds
+                for spec in self._faults
+                for system in self._systems
+            ]
+        fault_axis = self._faults if self._faults is not None else [None]
         return [
-            (system, app_name, dataset, cache_bytes, seed, nodes, spec)
+            (system, app_name, dataset, cache_bytes, seed, nodes, spec, check)
             for app_name, dataset in self._workloads
             for cache_bytes in self._cache_sizes
             for seed in self._seeds
-            for spec in self._faults
+            for spec in fault_axis
+            for check in self._conformance
             for system in self._systems
         ]
 
@@ -149,8 +192,10 @@ class Sweep:
         """
         columns = ["system", "application", "dataset", "cache", "seed",
                    "cycles", "refs", "remote_packets"]
-        if self._faults is not None:
+        if self._faults is not None or self._conformance is not None:
             columns += ["faults", "retries", "nacks"]
+        if self._conformance is not None:
+            columns += ["conformance", "checks", "violations"]
         result = ExperimentResult(
             "sweep",
             f"{self.cells}-cell sweep at {nodes} nodes",

@@ -64,6 +64,9 @@ class MachineBase:
         #: repro.network.faults); both None on a reliable machine.
         self.fault_plan = None
         self.transport = None
+        #: Online conformance monitor (see repro.protocols.conformance);
+        #: None unless :meth:`enable_conformance` was called.
+        self.conformance = None
 
     # ------------------------------------------------------------------
     def install_fault_plan(self, faults):
@@ -90,11 +93,62 @@ class MachineBase:
         self.fault_plan = plan
         self.transport = transport
         self.interconnect.install_faults(plan, transport)
+        if self.conformance is not None:
+            transport.flight_recorder = self.conformance.recorder
         for node in self.nodes:
             install = getattr(node, "install_faults", None)
             if install is not None:
                 install(plan)
         return plan
+
+    # ------------------------------------------------------------------
+    def enable_conformance(self, strict: bool = True, history: int = 64):
+        """Turn on online protocol conformance checking.
+
+        Builds a :class:`~repro.protocols.conformance.ConformanceMonitor`
+        for the installed protocol's specification and attaches it to
+        this machine's emission points.  Off by default: a machine that
+        never calls this runs with zero monitoring overhead and
+        bit-identical goldens.  Idempotent; returns the monitor.
+
+        ``strict=True`` raises
+        :class:`~repro.protocols.verify.CoherenceViolation` (with the
+        flight recorder's event history) at the first violation;
+        ``strict=False`` only accumulates ``monitor.violations``.
+        """
+        if self.conformance is not None:
+            # Already monitoring (possibly auto-enabled via
+            # REPRO_CONFORMANCE): honor the newly requested strictness.
+            self.conformance.strict = strict
+            return self.conformance
+        from repro.protocols.conformance import ConformanceMonitor, spec_for
+
+        spec = spec_for(self)
+        if spec is None:
+            raise SimulationError(
+                f"no conformance spec for {self.system_name!r}: install a "
+                f"protocol with a transition table first"
+            )
+        monitor = ConformanceMonitor(
+            self, spec, strict=strict, history=history
+        ).attach()
+        self.conformance = monitor
+        if self.transport is not None:
+            self.transport.flight_recorder = monitor.recorder
+        return monitor
+
+    def _maybe_auto_conformance(self) -> None:
+        """Honor ``REPRO_CONFORMANCE=1``: enable the monitor on every
+        machine whose protocol has a spec (CI's conformance job)."""
+        import os
+
+        if self.conformance is not None:
+            return
+        if os.environ.get("REPRO_CONFORMANCE", "") not in ("", "0"):
+            from repro.protocols.conformance import spec_for
+
+            if spec_for(self) is not None:
+                self.enable_conformance()
 
     @property
     def num_nodes(self) -> int:

@@ -67,6 +67,9 @@ class TagStore:
     def __init__(self, layout: AddressLayout, node: int = 0):
         self.layout = layout
         self.node = node
+        #: Conformance hook: called ``observer(node, addr, old, new)`` on
+        #: every :meth:`set_tag` (page registration resets bypass it).
+        self.observer = None
         # page base address -> list of tags, one per block in the page.
         self._pages: dict[int, list[Tag]] = {}
         # Precomputed address arithmetic for the per-access tag check.
@@ -138,7 +141,11 @@ class TagStore:
             raise TagStoreError(
                 f"no tags for unmapped page {addr & self._page_mask:#x}"
             )
-        tags[(addr & self._page_low) >> self._block_shift] = tag
+        index = (addr & self._page_low) >> self._block_shift
+        observer = self.observer
+        if observer is not None:
+            observer(self.node, addr, tags[index], tag)
+        tags[index] = tag
 
     def set_rw(self, addr: int) -> None:
         self.set_tag(addr, Tag.READ_WRITE)

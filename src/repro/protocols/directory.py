@@ -40,13 +40,36 @@ class DirectoryState(enum.Enum):
         )
 
 
-class HardwareDirectoryEntry:
+class _ObservedState:
+    """``state`` property shared by both entry encodings.
+
+    Assignments notify ``_observer`` (the conformance monitor's hook)
+    *before* mutating, so a strict monitor raising on an illegal
+    transition leaves the entry unchanged.  With no observer installed
+    the setter is a plain attribute write behind one None check.
+    """
+
+    @property
+    def state(self) -> DirectoryState:
+        return self._state
+
+    @state.setter
+    def state(self, new: DirectoryState) -> None:
+        observer = self._observer
+        if observer is not None:
+            observer(self, self._state, new)
+        self._state = new
+
+
+class HardwareDirectoryEntry(_ObservedState):
     """Full-map entry: DirNNB's per-block directory state."""
 
-    __slots__ = ("state", "owner", "sharers", "pending", "acks_outstanding")
+    __slots__ = ("_state", "owner", "sharers", "pending", "acks_outstanding",
+                 "_observer")
 
     def __init__(self) -> None:
-        self.state = DirectoryState.HOME
+        self._state = DirectoryState.HOME
+        self._observer = None
         self.owner: int | None = None
         self.sharers: set[int] = set()
         #: Requests that arrived while the entry was transient.
@@ -64,23 +87,25 @@ POINTER_SLOTS = 6
 BITVECTOR_LIMIT = 32
 
 
-class SoftwareDirectoryEntry:
+class SoftwareDirectoryEntry(_ObservedState):
     """The 64-bit LimitLESS-style software entry Stache allocates per block."""
 
     __slots__ = (
         "nodes",
-        "state",
+        "_state",
         "owner",
         "pending",
         "acks_outstanding",
         "_pointers",
         "_bitvector",
         "_aux",
+        "_observer",
     )
 
     def __init__(self, nodes: int):
         self.nodes = nodes
-        self.state = DirectoryState.HOME
+        self._state = DirectoryState.HOME
+        self._observer = None
         self.owner: int | None = None
         self.pending: deque = deque()
         self.acks_outstanding = 0

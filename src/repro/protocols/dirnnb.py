@@ -63,6 +63,7 @@ class DirNNBMachine(MachineBase):
             DirNNBNode(node_id, self) for node_id in range(config.nodes)
         ]
         self._first_touch_homes: dict[int, int] = {}
+        self._maybe_auto_conformance()
 
     # ------------------------------------------------------------------
     def home_of(self, addr: int) -> int:
@@ -116,6 +117,9 @@ class DirectoryController:
         entry = self._entries.get(block)
         if entry is None:
             entry = self._entries[block] = HardwareDirectoryEntry()
+            monitor = self.machine.conformance
+            if monitor is not None:
+                monitor.watch_entry(self.node.node_id, block, entry)
         return entry
 
     def entries(self) -> dict[int, HardwareDirectoryEntry]:
@@ -139,6 +143,9 @@ class DirectoryController:
         self._block_received = False
         self._block_sent = False
         self._handle(message)
+        monitor = self.machine.conformance
+        if monitor is not None:
+            monitor.after_handler(self.node.node_id, message)
         if (
             message.handler == "dir.get"
             and message.payload.get("local")
@@ -241,6 +248,9 @@ class DirectoryController:
 
     def handle_request(self, block: int, requester: int,
                        want_write: bool) -> None:
+        monitor = self.machine.conformance
+        if monitor is not None:
+            monitor.note_request(block, requester)
         entry = self.entry(block)
         if entry.state.is_transient:
             entry.pending.append((requester, want_write))
@@ -407,7 +417,7 @@ class DirNNBNode:
     # Network sink: directory traffic and cache-side coherence requests
     # ------------------------------------------------------------------
     def _receive(self, message: Message) -> None:
-        if message.xid is not None and self._guard.seen(message.xid):
+        if message.xid is not None and self._guard.seen(message.src, message.xid):
             return  # duplicate delivery of an already-processed message
         handler = message.handler
         if handler in ("dir.get", "dir.ack", "dir.wb_data", "dir.repl"):

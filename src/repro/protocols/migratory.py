@@ -67,7 +67,7 @@ class MigratoryProtocol(StacheProtocol):
 
     # ------------------------------------------------------------------
     def _handle_request(self, tempest: Tempest, block: int, requester: int,
-                        want_write: bool) -> None:
+                        want_write: bool, fetch_seq: int | None = None) -> None:
         state = self._mig_state(tempest.node_id, block)
         if want_write:
             self._note_write_request(tempest, block, requester, state)
@@ -77,7 +77,8 @@ class MigratoryProtocol(StacheProtocol):
             state.probes.add(requester)
             want_write = True
             tempest.stats.incr("migratory.exclusive_read_grants")
-        super()._handle_request(tempest, block, requester, want_write)
+        super()._handle_request(tempest, block, requester, want_write,
+                                fetch_seq=fetch_seq)
 
     def _note_write_request(self, tempest: Tempest, block: int,
                             requester: int, state: _MigratoryState) -> None:

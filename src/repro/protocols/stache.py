@@ -93,6 +93,26 @@ class StacheProtocol:
         self._pending_fault: dict[int, int | None] = {}
         # Pages whose home has moved: old home page addr -> new home node.
         self._migrated_pages: dict[int, int] = {}
+        # Grant/invalidation race bookkeeping.  Every fetch carries a
+        # per-(node, block) sequence number that the home echoes in the
+        # data grant and in recalls of the ownership that grant created.
+        # Grants travel the response network while invals/recalls travel
+        # the request network, so an inval or recall can overtake the
+        # grant it chases (queueing skew, drops and retransmits).  When
+        # that happens the requester poisons exactly the overtaken
+        # sequence: the late grant is discarded on arrival and the fetch
+        # reissued under a new number.  Keying the poison by sequence —
+        # not by block — is what makes this livelock-free: a recall for
+        # a stale era (grant_seq older than the outstanding fetch) is
+        # answered held=False without poisoning the replacement fetch.
+        self._fetch_seq: dict[tuple[int, int], int] = {}
+        self._poisoned_seq: dict[tuple[int, int], int] = {}
+        # Home side: latest fetch sequence per (home, block, requester).
+        # At most one un-granted fetch per key exists at a time, so this
+        # is exactly the sequence a deferred grant must echo.  (Explicit
+        # page migration does not carry it to the new home: post-
+        # migration recalls simply lose the poisoning optimization.)
+        self._req_seq: dict[tuple[int, int, int], int] = {}
 
     # ------------------------------------------------------------------
     # Installation (what re-linking with the Stache library does)
@@ -224,6 +244,9 @@ class StacheProtocol:
         entry = directory.get(block)
         if entry is None:
             entry = directory[block] = SoftwareDirectoryEntry(tempest.num_nodes)
+            monitor = self._machine().conformance
+            if monitor is not None:
+                monitor.watch_entry(tempest.node_id, block, entry)
         return entry
 
     # ------------------------------------------------------------------
@@ -251,6 +274,7 @@ class StacheProtocol:
         tempest.stats.incr(
             "stache.rw_requests" if want_write else "stache.ro_requests"
         )
+        seq = self._next_fetch_seq(tempest.node_id, block)
         tempest.send(
             entry.home,
             self.GET_RW if want_write else self.GET_RO,
@@ -258,7 +282,13 @@ class StacheProtocol:
             size_words=REQUEST_WORDS,
             addr=block,
             requester=tempest.node_id,
+            fetch_seq=seq,
         )
+
+    def _next_fetch_seq(self, node_id: int, block: int) -> int:
+        seq = self._fetch_seq.get((node_id, block), 0) + 1
+        self._fetch_seq[(node_id, block)] = seq
+        return seq
 
     def _f_home_read(self, tempest: Tempest, fault: AccessFault) -> None:
         """Home faults bypass requests and touch the directory directly."""
@@ -272,16 +302,18 @@ class StacheProtocol:
     # ------------------------------------------------------------------
     def _h_get_ro(self, tempest: Tempest, message: Message) -> None:
         self._handle_request(
-            tempest, message.payload["addr"], message.payload["requester"], False
+            tempest, message.payload["addr"], message.payload["requester"],
+            False, fetch_seq=message.payload.get("fetch_seq"),
         )
 
     def _h_get_rw(self, tempest: Tempest, message: Message) -> None:
         self._handle_request(
-            tempest, message.payload["addr"], message.payload["requester"], True
+            tempest, message.payload["addr"], message.payload["requester"],
+            True, fetch_seq=message.payload.get("fetch_seq"),
         )
 
     def _handle_request(self, tempest: Tempest, block: int, requester: int,
-                        want_write: bool) -> None:
+                        want_write: bool, fetch_seq: int | None = None) -> None:
         """The directory state machine, run atomically at the home."""
         page_addr = self._machine().layout.page_of(block)
         forward = self._migrated_pages.get(page_addr)
@@ -296,8 +328,13 @@ class StacheProtocol:
                 size_words=REQUEST_WORDS,
                 addr=block,
                 requester=requester,
+                fetch_seq=fetch_seq,
             )
             return
+        if requester != tempest.node_id and fetch_seq is not None:
+            # At most one un-granted fetch per (block, requester) exists,
+            # so the latest sequence is the one any grant must echo.
+            self._req_seq[(tempest.node_id, block, requester)] = fetch_seq
         entry = self._dir_entry(tempest, block)
         if entry.state.is_transient:
             entry.pending.append((requester, want_write))
@@ -351,6 +388,11 @@ class StacheProtocol:
                     size_words=REQUEST_WORDS,
                     addr=block,
                     home=tempest.node_id,
+                    # The sequence of the fetch that made this sharer a
+                    # sharer (see _send_writeback_request): it only
+                    # poisons a grant still in flight.
+                    grant_seq=self._req_seq.get(
+                        (tempest.node_id, block, sharer)),
                 )
             return
         # HOME, or SHARED with the requester as the only sharer.
@@ -367,6 +409,9 @@ class StacheProtocol:
             addr=block,
             home=tempest.node_id,
             demote=demote,
+            # The sequence of the fetch whose grant made (or is making)
+            # the recallee owner: it only poisons a grant still in flight.
+            grant_seq=self._req_seq.get((tempest.node_id, block, owner)),
         )
 
     def _finish_write_grant(self, tempest: Tempest, block: int,
@@ -407,6 +452,8 @@ class StacheProtocol:
                 data=tempest.export_block(block),
                 rw=rw,
                 home=tempest.node_id,
+                fetch_seq=self._req_seq.get(
+                    (tempest.node_id, block, requester)),
             )
         self._dispatch_pending(tempest, block, entry)
 
@@ -438,6 +485,24 @@ class StacheProtocol:
         ):
             tempest.invalidate(block)
             tempest.stats.incr("stache.blocks_invalidated")
+        elif (
+            page is not None
+            and page.mode == PAGE_MODE_STACHE
+            and tempest.read_tag(block) is Tag.BUSY
+        ):
+            # Our fetch may have a grant in flight that this message
+            # overtook: installing it would resurrect a copy the home
+            # believes dead.  Poison only when the invalidation chases
+            # the fetch we have outstanding (grant_seq matches): an
+            # invalidation of an older copy — say our read-only copy,
+            # while our write upgrade is queued at the home — targets a
+            # grant we already consumed, and the upgrade's own grant
+            # will be issued after this round completes.
+            key = (tempest.node_id, block)
+            grant_seq = message.payload.get("grant_seq")
+            if grant_seq is not None and grant_seq == self._fetch_seq.get(key):
+                self._poisoned_seq[key] = grant_seq
+                tempest.stats.incr("stache.grants_poisoned")
         tempest.send(
             message.payload["home"],
             self.ACK,
@@ -468,6 +533,24 @@ class StacheProtocol:
                 tempest.set_ro(block)
             else:
                 tempest.invalidate(block)
+        elif (
+            page is not None
+            and page.mode == PAGE_MODE_STACHE
+            and tempest.read_tag(block) is Tag.BUSY
+        ):
+            # The recall-side twin of the _h_inval race: a grant making
+            # us owner may still be in flight, and this held=False reply
+            # tells the home to move on without us.  Poison only when
+            # the recall chases the fetch we have outstanding (grant_seq
+            # matches): a recall for a stale era — the home still
+            # believing in an ownership we already gave up — must not
+            # poison the replacement fetch, or the refetch loop never
+            # converges.
+            key = (tempest.node_id, block)
+            grant_seq = message.payload.get("grant_seq")
+            if grant_seq is not None and grant_seq == self._fetch_seq.get(key):
+                self._poisoned_seq[key] = grant_seq
+                tempest.stats.incr("stache.grants_poisoned")
         # If we no longer hold the block, our replacement writeback is
         # already ahead of this reply on the same FIFO response channel.
         tempest.send(
@@ -569,6 +652,41 @@ class StacheProtocol:
     # ------------------------------------------------------------------
     def _h_data(self, tempest: Tempest, message: Message) -> None:
         block = message.payload["addr"]
+        key = (tempest.node_id, block)
+        seq = message.payload.get("fetch_seq")
+        if seq is not None:
+            outstanding = self._fetch_seq.get(key)
+            if seq != outstanding:
+                # A grant from a superseded fetch (we already poisoned
+                # and reissued under a newer sequence): the current
+                # fetch's own grant is still coming, so just drop this.
+                tempest.stats.incr("stache.stale_grants_dropped")
+                return
+            if self._poisoned_seq.get(key) == seq:
+                # This grant was overtaken by an invalidation or recall
+                # (see _h_inval / _h_writeback): the home already
+                # reclaimed the block, so installing this copy would
+                # violate coherence.  Drop the data and reissue the
+                # fetch under a fresh sequence; the tag is still Busy
+                # and the faulting thread (if any) stays suspended.
+                del self._poisoned_seq[key]
+                tempest.stats.incr("stache.poisoned_grants_refetched")
+                page = tempest.page_entry(block)
+                home = message.payload.get("home")
+                if home is None:
+                    home = page.home if page is not None else message.src
+                elif page is not None:
+                    page.home = home
+                tempest.send(
+                    home,
+                    self.GET_RW if message.payload["rw"] else self.GET_RO,
+                    vnet=VirtualNetwork.REQUEST,
+                    size_words=REQUEST_WORDS,
+                    addr=block,
+                    requester=tempest.node_id,
+                    fetch_seq=self._next_fetch_seq(tempest.node_id, block),
+                )
+                return
         costs = self._machine().config.typhoon
         tempest.charge(costs.np_block_copy_cycles)
         tempest.import_block(block, message.payload["data"])
@@ -654,6 +772,7 @@ class StacheProtocol:
             size_words=REQUEST_WORDS,
             addr=block,
             requester=tempest.node_id,
+            fetch_seq=self._next_fetch_seq(tempest.node_id, block),
         )
 
     # ------------------------------------------------------------------

@@ -55,12 +55,16 @@ class Stats:
     def __init__(self) -> None:
         self._counters: dict[str, float] = defaultdict(float)
         self._distributions: dict[str, Distribution] = {}
+        # Names written via set_max are high-water marks, not totals:
+        # merge() must combine them with max(), never sum them.
+        self._maxima: set[str] = set()
 
     # ------------------------------------------------------------------
     def incr(self, name: str, amount: float = 1) -> None:
         self._counters[name] += amount
 
     def set_max(self, name: str, value: float) -> None:
+        self._maxima.add(name)
         if value > self._counters.get(name, float("-inf")):
             self._counters[name] = value
 
@@ -100,8 +104,13 @@ class Stats:
 
     # ------------------------------------------------------------------
     def merge(self, other: "Stats") -> None:
+        self._maxima |= other._maxima
+        maxima = self._maxima
         for name, value in other._counters.items():
-            self._counters[name] += value
+            if name in maxima:
+                self.set_max(name, value)
+            else:
+                self._counters[name] += value
         for name, dist in other._distributions.items():
             mine = self.distribution(name)
             mine.count += dist.count

@@ -119,6 +119,14 @@ class ReliableTransport:
         self.pending: dict[int, Message] = {}
         self._timers: dict[int, Any] = {}
         self._next_xid = itertools.count(1)
+        #: Conformance flight recorder (set by the machine when the
+        #: monitor is enabled); delivery-failure reports include its
+        #: per-block event history.
+        self.flight_recorder = None
+        #: Details of the last permanent delivery failure, recorded
+        #: before the error propagates (node, dst, handler, xid,
+        #: attempts) so post-mortem inspection survives the raise.
+        self.last_failure: dict | None = None
 
     # -- interconnect hooks ---------------------------------------------
     def track(self, message: Message) -> None:
@@ -163,11 +171,30 @@ class ReliableTransport:
         if message is None:
             return  # received while the timer was in flight
         if message.attempt >= self.spec.max_attempts:
-            raise SimulationError(
+            # Permanent failure: disarm this transaction before raising
+            # so the error does not leave a live timer (and a pending
+            # entry) pointing at a transaction we just declared dead.
+            self.pending.pop(xid, None)
+            timer = self._timers.pop(xid, None)
+            if timer is not None:
+                timer.cancel()
+            self.last_failure = {
+                "node": message.src,
+                "dst": message.dst,
+                "handler": message.handler,
+                "xid": xid,
+                "attempts": message.attempt,
+            }
+            detail = (
                 f"message xid={xid} ({message.handler} "
                 f"{message.src}->{message.dst}) undelivered after "
                 f"{message.attempt} attempts"
             )
+            if self.flight_recorder is not None:
+                detail += "\n" + self.flight_recorder.report(
+                    message.payload.get("addr")
+                )
+            raise SimulationError(detail)
         message.attempt += 1
         message.nacked = False
         self.stats.incr("tempest.retries")
@@ -199,31 +226,39 @@ class DeliveryGuard:
 
     Messages without a transaction id (reliable network, or non-message
     arguments such as block faults) pass through untouched.
+
+    The seen-set is keyed on ``(src, xid)``: transaction ids are
+    allocated per *machine* by :class:`ReliableTransport`, so one
+    machine's xid stream never collides with itself — but keying on the
+    sender as well keeps the guard correct even for multi-transport
+    topologies (or future per-node id allocation), where two senders can
+    legitimately reuse the same xid value.
     """
 
     __slots__ = ("_seen", "_order", "_capacity", "_stats", "_key")
 
     def __init__(self, stats: "Stats | None" = None, key: str | None = None,
                  capacity: int = 4096):
-        self._seen: set[int] = set()
-        self._order: deque[int] = deque()
+        self._seen: set[tuple[int, int]] = set()
+        self._order: deque[tuple[int, int]] = deque()
         self._capacity = capacity
         self._stats = stats
         self._key = key
 
-    def seen(self, xid: int | None) -> bool:
-        """Record ``xid``; True (and counted) if it was already recorded."""
+    def seen(self, src: int, xid: int | None) -> bool:
+        """Record ``(src, xid)``; True (and counted) if already recorded."""
         if xid is None:
             return False
-        if xid in self._seen:
+        key = (src, xid)
+        if key in self._seen:
             stats = self._stats
             if stats is not None:
                 stats.incr("tempest.duplicates_dropped")
                 if self._key is not None:
                     stats.incr(self._key)
             return True
-        self._seen.add(xid)
-        self._order.append(xid)
+        self._seen.add(key)
+        self._order.append(key)
         if len(self._order) > self._capacity:
             self._seen.discard(self._order.popleft())
         return False
@@ -232,7 +267,7 @@ class DeliveryGuard:
         """Wrap a handler so duplicate deliveries become no-ops."""
         def guarded(tempest: Any, message: Any) -> Any:
             xid = getattr(message, "xid", None)
-            if xid is not None and self.seen(xid):
+            if xid is not None and self.seen(message.src, xid):
                 return None
             return fn(tempest, message)
         return guarded

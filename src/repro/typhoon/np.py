@@ -284,6 +284,9 @@ class NetworkProcessor:
     def _execute(self, fn, argument) -> None:
         self._extra_charge = 0
         fn(self.node.tempest, argument)
+        monitor = self.node.machine.conformance
+        if monitor is not None:
+            monitor.after_handler(self._node_id, argument)
         extra = self._extra_charge
         self._extra_charge = 0
         if extra:

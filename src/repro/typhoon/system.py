@@ -37,6 +37,7 @@ class TyphoonMachine(MachineBase):
             raise RuntimeError("a protocol is already installed")
         self.protocol = protocol
         protocol.install(self)
+        self._maybe_auto_conformance()
 
     def use_software_barrier(self, coordinator: int = 0) -> None:
         """Replace the hardware barrier network with a message-built one.

@@ -61,6 +61,18 @@ def test_doctest_state_carries_across_fences(tmp_path):
     assert check_docs.check_doctests(tmp_path) == []
 
 
+def test_symbol_checker_catches_stale_references(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "page.md").write_text(
+        "Live: `repro.sim.stats.Stats`.  Stale: `repro.sim.stats.Gone`.\n\n"
+        "```pycon\n>>> pass  # `repro.fenced.refs.are.not.checked`\n```\n")
+    errors = check_docs.check_symbols(tmp_path)
+    assert len(errors) == 1
+    assert "repro.sim.stats.Gone" in errors[0]
+    assert "page.md:1" in errors[0]
+
+
 def test_fault_docs_cover_the_public_surface():
     """Every public symbol of repro.network.faults appears in docs/faults.md."""
     text = (ROOT / "docs" / "faults.md").read_text()

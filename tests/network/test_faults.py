@@ -290,12 +290,22 @@ def test_nack_messages_are_never_tracked():
 # ----------------------------------------------------------------------
 def test_delivery_guard_passes_none_and_caps_memory():
     guard = DeliveryGuard(capacity=2)
-    assert guard.seen(None) is False
-    assert guard.seen(None) is False  # None is never "a duplicate"
-    assert guard.seen(1) is False
-    assert guard.seen(1) is True
-    guard.seen(2), guard.seen(3)  # evicts xid 1 (capacity 2)
-    assert guard.seen(1) is False  # forgotten after eviction
+    assert guard.seen(0, None) is False
+    assert guard.seen(0, None) is False  # None is never "a duplicate"
+    assert guard.seen(0, 1) is False
+    assert guard.seen(0, 1) is True
+    guard.seen(0, 2), guard.seen(0, 3)  # evicts (0, 1) (capacity 2)
+    assert guard.seen(0, 1) is False  # forgotten after eviction
+
+
+def test_delivery_guard_keys_on_sender_and_xid():
+    # Per-sender id streams can reuse the same xid value; one sender's
+    # xid must never suppress another's.
+    guard = DeliveryGuard()
+    assert guard.seen(0, 7) is False
+    assert guard.seen(1, 7) is False  # same xid, different sender
+    assert guard.seen(0, 7) is True
+    assert guard.seen(1, 7) is True
 
 
 def test_delivery_guard_wrap_ignores_non_message_arguments():

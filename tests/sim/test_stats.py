@@ -77,6 +77,34 @@ def test_merge_combines_counters_and_distributions():
     assert a.distribution("d").mean == 2
 
 
+def test_merge_takes_max_of_high_water_marks():
+    # Regression: merge() used to sum set_max counters, inflating every
+    # aggregated high-water mark (machine.execution_time, NP queue peaks).
+    a = Stats()
+    b = Stats()
+    a.set_max("machine.execution_time", 1000)
+    b.set_max("machine.execution_time", 1800)
+    a.incr("tempest.retries", 2)
+    b.incr("tempest.retries", 3)
+    a.merge(b)
+    assert a.get("machine.execution_time") == 1800  # max, not 2800
+    assert a.get("tempest.retries") == 5  # sums still sum
+
+
+def test_merge_respects_maxima_known_only_to_other():
+    # The receiving Stats may never have seen the counter; the max-type
+    # marking must travel with the merge.
+    a = Stats()
+    b = Stats()
+    b.set_max("node0.np.overflow_peak", 7)
+    a.merge(b)
+    assert a.get("node0.np.overflow_peak") == 7
+    c = Stats()
+    c.set_max("node0.np.overflow_peak", 4)
+    a.merge(c)
+    assert a.get("node0.np.overflow_peak") == 7  # still the high-water mark
+
+
 def test_as_dict_flattens_distributions():
     stats = Stats()
     stats.incr("c", 2)

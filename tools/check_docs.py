@@ -10,6 +10,10 @@ Two passes, both run by CI's ``docs`` job and by
 2. **Doctests** — every fenced ```` ```pycon ```` block in ``docs/*.md``
    is executed with :mod:`doctest` (ELLIPSIS enabled), so the
    documentation's transcripts cannot drift from the code.
+3. **Symbols** — every backtick-quoted dotted ``repro.…`` reference in
+   ``docs/*.md`` and ``README.md`` must resolve to a real module or
+   attribute under ``src/repro``, so renames cannot strand stale names
+   in prose that the doctests never execute.
 
 Usage::
 
@@ -21,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import doctest
+import importlib
 import re
 import sys
 from pathlib import Path
@@ -34,6 +39,12 @@ sys.path.insert(0, str(ROOT / "src"))
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _FENCE_RE = re.compile(r"^```pycon\s*$(.*?)^```\s*$", re.M | re.S)
 _SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+#: backtick-quoted dotted references rooted at the package: `repro.x.y`
+#: or `repro.x.y.Symbol`.  Prose mentions without backticks are ignored.
+_SYMBOL_RE = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)`")
+#: any fenced code block — symbol references inside fences are example
+#: code, already covered by the doctest pass where it matters.
+_ANY_FENCE_RE = re.compile(r"^```.*?^```\s*$", re.M | re.S)
 
 
 def markdown_files(root: Path = ROOT) -> list[Path]:
@@ -74,6 +85,41 @@ def pycon_blocks(path: Path) -> list[tuple[int, str]]:
     ]
 
 
+def _symbol_resolves(dotted: str) -> bool:
+    """True if ``dotted`` names an importable module or an attribute."""
+    parts = dotted.split(".")
+    for cut in range(len(parts), 0, -1):
+        try:
+            obj = importlib.import_module(".".join(parts[:cut]))
+        except ImportError:
+            continue
+        for attr in parts[cut:]:
+            if not hasattr(obj, attr):
+                return False
+            obj = getattr(obj, attr)
+        return True
+    return False
+
+
+def check_symbols(root: Path = ROOT) -> list[str]:
+    """Return one error per stale ``repro.…`` reference in the docs."""
+    errors = []
+    pages = sorted((root / "docs").glob("*.md")) + [root / "README.md"]
+    for path in pages:
+        if not path.exists():
+            continue
+        text = _ANY_FENCE_RE.sub(lambda m: "\n" * m.group(0).count("\n"),
+                                 path.read_text(encoding="utf-8"))
+        for match in _SYMBOL_RE.finditer(text):
+            dotted = match.group(1)
+            if not _symbol_resolves(dotted):
+                line = text.count("\n", 0, match.start()) + 1
+                errors.append(
+                    f"{path.relative_to(root)}:{line}: stale reference "
+                    f"`{dotted}` does not resolve under src/repro")
+    return errors
+
+
 def check_doctests(root: Path = ROOT) -> list[str]:
     """Run every docs/*.md pycon block; return one error per failure.
 
@@ -106,15 +152,21 @@ def main(argv: list[str] | None = None) -> int:
                     help="check markdown links only")
     ap.add_argument("--doctests", action="store_true",
                     help="run docs/*.md pycon doctests only")
+    ap.add_argument("--symbols", action="store_true",
+                    help="check `repro.…` symbol references only")
     args = ap.parse_args(argv)
-    run_links = args.links or not args.doctests
-    run_doctests = args.doctests or not args.links
+    some_only = args.links or args.doctests or args.symbols
+    run_links = args.links or not some_only
+    run_doctests = args.doctests or not some_only
+    run_symbols = args.symbols or not some_only
 
     errors = []
     if run_links:
         errors += check_links()
     if run_doctests:
         errors += check_doctests()
+    if run_symbols:
+        errors += check_symbols()
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:
