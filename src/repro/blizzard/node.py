@@ -387,7 +387,10 @@ class BlizzardNode:
                 f"page fault at {addr:#x} on node {self.node_id} "
                 "with no user-level handler installed"
             )
-        yield self.config.typhoon.page_fault_instructions
+        # The user-level page fault handler runs on the primary CPU,
+        # charged at this backend's own resolved cost (Blizzard runs
+        # used to bill Typhoon's NP instruction count here).
+        yield self.machine.costs.page_fault
         extra = self.page_fault_handler(self.tempest, addr, is_write)
         if extra:
             yield extra

@@ -7,6 +7,7 @@ from typing import Callable, Generator
 from repro.blizzard.node import BlizzardNode
 from repro.machine import MachineBase
 from repro.sim.config import MachineConfig
+from repro.tempest.port import CostDomain
 
 
 class BlizzardMachine(MachineBase):
@@ -16,6 +17,7 @@ class BlizzardMachine(MachineBase):
 
     def __init__(self, config: MachineConfig):
         super().__init__(config)
+        self.costs = CostDomain.from_blizzard(config.blizzard)
         self.nodes: list[BlizzardNode] = [
             BlizzardNode(node_id, self) for node_id in range(config.nodes)
         ]

@@ -93,6 +93,17 @@ _REGISTRY = {
                                                seed=args.seed)
         ],
     ),
+    "systems": (
+        "List every composable backend:protocol system in the registry",
+        lambda args: [experiments.run_systems()],
+    ),
+    "matrix": (
+        "Smoke-run every registered system on a tiny shared workload",
+        lambda args: [
+            experiments.run_system_matrix(nodes=min(args.nodes, 4),
+                                          seed=args.seed)
+        ],
+    ),
     "ablations": (
         "NP-speed, topology, contention, and first-touch ablations",
         lambda args: [

@@ -5,44 +5,32 @@ from __future__ import annotations
 from typing import Any
 
 from repro.apps.base import run_app
-from repro.protocols.dirnnb import DirNNBMachine
-from repro.protocols.em3d_update import Em3dUpdateProtocol
-from repro.protocols.stache import StacheProtocol
+from repro.backends import all_systems, compose
 from repro.sim.config import MachineConfig
 
-#: The three systems of Section 6, plus the software-Tempest extension.
+#: The three systems of Section 6, plus the software-Tempest extension —
+#: the pre-registry names, kept as first-class aliases.  The full
+#: composable matrix is :func:`repro.backends.all_systems`.
 SYSTEMS = ("dirnnb", "typhoon-stache", "typhoon-update", "blizzard-stache")
+
+#: Every composable ``backend:protocol`` system (canonical names).
+ALL_SYSTEMS = all_systems()
 
 
 def build_machine(system: str, config: MachineConfig):
     """Build a machine (with its protocol installed) for one system name.
 
-    Returns ``(machine, protocol)``; protocol is None for DirNNB.
+    ``system`` is a registry-composed ``"<backend>:<protocol>"`` string
+    (``typhoon:stache``, ``blizzard:ivy``, ...), a bare builtin-protocol
+    backend (``dirnnb``), or a legacy alias (``typhoon-stache``, see
+    :data:`repro.backends.ALIASES`).  Returns ``(machine, protocol)``;
+    protocol is None for DirNNB.  Unknown names raise ``ValueError``
+    with the registry's suggestion list; syntactically valid pairs that
+    cannot work together (capability mismatch, e.g.
+    ``blizzard:em3d-update``) raise
+    :class:`repro.backends.CompositionError`.
     """
-    if system == "dirnnb":
-        return DirNNBMachine(config), None
-    if system == "typhoon-stache":
-        from repro.typhoon.system import TyphoonMachine
-
-        machine = TyphoonMachine(config)
-        protocol = StacheProtocol()
-        machine.install_protocol(protocol)
-        return machine, protocol
-    if system == "typhoon-update":
-        from repro.typhoon.system import TyphoonMachine
-
-        machine = TyphoonMachine(config)
-        protocol = Em3dUpdateProtocol()
-        machine.install_protocol(protocol)
-        return machine, protocol
-    if system == "blizzard-stache":
-        from repro.blizzard.system import BlizzardMachine
-
-        machine = BlizzardMachine(config)
-        protocol = StacheProtocol()
-        machine.install_protocol(protocol)
-        return machine, protocol
-    raise ValueError(f"unknown system {system!r}; expected one of {SYSTEMS}")
+    return compose(system, config)
 
 
 def run_application(system: str, app, config: MachineConfig,

@@ -58,9 +58,21 @@ def _run_cell(cell: tuple) -> dict[str, Any]:
         system, app_name, dataset, cache_bytes, seed, nodes, faults = cell
     else:
         system, app_name, dataset, cache_bytes, seed, nodes = cell
+    checked = conformance
+    if checked:
+        # A spec-less protocol (em3d-update) cannot be monitored; its
+        # cells run unchecked and say so in the conformance column, so
+        # an all_systems() x conformance(True) sweep completes.
+        from repro.backends import parse_system
+
+        backend, protocol = parse_system(system)
+        if (protocol.conformance if protocol is not None
+                else backend.builtin_protocol) is None:
+            checked = None
     config = MachineConfig(nodes=nodes, seed=seed).with_cache_size(cache_bytes)
     outcome = run_application(system, workload(app_name, dataset).build(),
-                              config, faults=faults, conformance=conformance)
+                              config, faults=faults,
+                              conformance=bool(checked))
     row = {
         "system": system,
         "application": app_name,
@@ -78,7 +90,10 @@ def _run_cell(cell: tuple) -> dict[str, Any]:
         row["nacks"] = stats.get("tempest.nacks_sent")
     if len(cell) == 8:
         monitor = outcome["machine"].conformance
-        row["conformance"] = "on" if conformance else "off"
+        if conformance:
+            row["conformance"] = "on" if checked else "no spec"
+        else:
+            row["conformance"] = "off"
         row["checks"] = monitor.checks if monitor is not None else 0
         row["violations"] = (
             len(monitor.violations) if monitor is not None else 0
@@ -104,6 +119,18 @@ class Sweep:
     # ------------------------------------------------------------------
     def systems(self, *names: str) -> "Sweep":
         self._systems = list(names)
+        return self
+
+    def all_systems(self) -> "Sweep":
+        """Sweep the full composable ``backend:protocol`` matrix.
+
+        Sets the system axis to every canonical system in
+        :func:`repro.backends.all_systems` — every protocol on every
+        backend whose capabilities satisfy it.
+        """
+        from repro.backends import all_systems
+
+        self._systems = list(all_systems())
         return self
 
     def workloads(self, *pairs: tuple[str, str]) -> "Sweep":
@@ -135,8 +162,9 @@ class Sweep:
         True)`` runs each combination both ways (e.g. to confirm the
         monitor is timing-passive).  With this axis present, cells
         become 8-tuples and rows gain ``conformance``/``checks``/
-        ``violations`` columns.  All swept systems must have a
-        conformance spec (``typhoon-update`` does not).
+        ``violations`` columns.  Systems whose protocol has no spec
+        (``typhoon:em3d-update``) run unchecked with ``no spec`` in the
+        conformance column.
         """
         self._conformance = list(flags) if flags else None
         return self

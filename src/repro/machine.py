@@ -67,6 +67,10 @@ class MachineBase:
         #: Online conformance monitor (see repro.protocols.conformance);
         #: None unless :meth:`enable_conformance` was called.
         self.conformance = None
+        #: Backend-resolved named protocol costs (see
+        #: :class:`repro.tempest.port.CostDomain`); set by machines that
+        #: host user-level protocols (None on all-hardware DirNNB).
+        self.costs = None
 
     # ------------------------------------------------------------------
     def install_fault_plan(self, faults):
@@ -125,9 +129,13 @@ class MachineBase:
 
         spec = spec_for(self)
         if spec is None:
+            from repro.backends import spec_name_for
+
             raise SimulationError(
-                f"no conformance spec for {self.system_name!r}: install a "
-                f"protocol with a transition table first"
+                f"no conformance spec for protocol "
+                f"{spec_name_for(self)!r} on {self.system_name!r}: add a "
+                f"transition table to repro.protocols.conformance.SPECS "
+                f"(em3d-update deliberately has none)"
             )
         monitor = ConformanceMonitor(
             self, spec, strict=strict, history=history

@@ -190,13 +190,17 @@ SPECS = {
 
 
 def spec_for(machine) -> ProtocolSpec | None:
-    """The conformance spec for ``machine``'s installed protocol, if any."""
-    if machine.system_name == "dirnnb":
-        return DIRNNB_SPEC
-    protocol = getattr(machine, "protocol", None)
-    if protocol is None:
-        return None
-    return SPECS.get(getattr(protocol, "name", None))
+    """The conformance spec for ``machine``'s effective protocol, if any.
+
+    Registry-driven: the spec key is the installed protocol's name, or —
+    for backends whose protocol is hardwired (DirNNB) — the backend
+    registry's ``builtin_protocol``.  Imported lazily because
+    ``repro.backends`` depends on the protocol registry; protocol-package
+    modules stay backend-neutral.
+    """
+    from repro.backends import spec_name_for
+
+    return SPECS.get(spec_name_for(machine))
 
 
 # ----------------------------------------------------------------------

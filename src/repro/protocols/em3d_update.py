@@ -118,28 +118,28 @@ class Em3dUpdateProtocol(StacheProtocol):
     # ------------------------------------------------------------------
     def install(self, machine) -> None:
         super().install(machine)
-        costs = machine.config.typhoon
+        costs = machine.costs
         self._states = [_NodeUpdateState() for _ in machine.nodes]
         for node in machine.nodes:
             tempest = node.tempest
             tempest.register_handler(
                 self.GET_CUSTOM, self._h_get_custom,
-                costs.home_response_instructions,
+                costs.home_response,
             )
             tempest.register_handler(
                 self.DATA_CUSTOM, self._h_data_custom,
-                costs.data_arrival_instructions,
+                costs.data_arrival,
             )
             tempest.register_handler(
                 self.UPDATE, self._h_update, UPDATE_RECV_INSTRUCTIONS
             )
             tempest.register_handler(
                 self.FAULT_CUSTOM_READ, self._f_custom_read,
-                costs.miss_request_instructions,
+                costs.miss_request,
             )
             tempest.register_handler(
                 self.FAULT_CUSTOM_WRITE, self._f_custom_write,
-                costs.miss_request_instructions,
+                costs.miss_request,
             )
             node.np.set_fault_handler(
                 PAGE_MODE_CUSTOM_STACHE, False, self.FAULT_CUSTOM_READ
@@ -229,8 +229,8 @@ class Em3dUpdateProtocol(StacheProtocol):
             raise SimulationError(f"custom get for non-custom block {block:#x}")
         home_page: _CustomHomePage = page.user_word
         home_page.copies[block].add(requester)
-        costs = self._machine().config.typhoon
-        tempest.charge(costs.np_block_copy_cycles)
+        costs = self._machine().costs
+        tempest.charge(costs.block_copy)
         tempest.stats.incr("em3d.copies_granted")
         home_state = self._states[tempest.node_id]
         tempest.send(
@@ -249,8 +249,8 @@ class Em3dUpdateProtocol(StacheProtocol):
     def _h_data_custom(self, tempest: Tempest, message: Message) -> None:
         block = message.payload["addr"]
         kind = message.payload["kind"]
-        costs = self._machine().config.typhoon
-        tempest.charge(costs.np_block_copy_cycles)
+        costs = self._machine().costs
+        tempest.charge(costs.block_copy)
         tempest.import_block(block, message.payload["data"])
         tempest.set_ro(block)
         state = self._states[tempest.node_id]

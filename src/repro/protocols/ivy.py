@@ -38,7 +38,6 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
 
 from repro.memory.allocator import SharedRegion
 from repro.memory.tags import AccessFault, Tag
@@ -46,9 +45,7 @@ from repro.network.message import REQUEST_WORDS, Message, VirtualNetwork
 from repro.sim.engine import SimulationError
 from repro.tempest.interface import Tempest
 from repro.tempest.messaging import DeliveryGuard
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.typhoon.system import TyphoonMachine
+from repro.tempest.port import TempestPort
 
 PAGE_MODE_IVY = 5
 
@@ -88,12 +85,12 @@ class IvyProtocol:
     GRANT = "ivy.grant"          # manager -> requester (enable the page)
 
     def __init__(self) -> None:
-        self.machine: "TyphoonMachine | None" = None
+        self.machine: TempestPort | None = None
         # (manager node, page addr) -> _PageState
         self._pages: dict[tuple[int, int], _PageState] = {}
 
     # ------------------------------------------------------------------
-    def install(self, machine: "TyphoonMachine") -> None:
+    def install(self, machine: TempestPort) -> None:
         self.machine = machine
         for node in machine.nodes:
             tempest = node.tempest
@@ -134,7 +131,7 @@ class IvyProtocol:
             )
             self._pages[(manager, page_addr)] = _PageState(owner=manager)
 
-    def _machine(self) -> "TyphoonMachine":
+    def _machine(self) -> TempestPort:
         if self.machine is None:
             raise SimulationError("protocol not installed")
         return self.machine

@@ -39,8 +39,6 @@ owner's stale (data-less) writeback reply.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
 from repro.memory.allocator import SharedRegion
 from repro.memory.tags import AccessFault, Tag
 from repro.network.message import (
@@ -53,9 +51,7 @@ from repro.protocols.directory import DirectoryState, SoftwareDirectoryEntry
 from repro.sim.engine import SimulationError
 from repro.tempest.interface import Tempest
 from repro.tempest.messaging import DeliveryGuard
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.typhoon.system import TyphoonMachine
+from repro.tempest.port import TempestPort
 
 #: Page modes (the four-bit RTLB page-mode field; Section 5.4).
 PAGE_MODE_HOME = 1
@@ -63,7 +59,7 @@ PAGE_MODE_STACHE = 2
 
 
 class StacheProtocol:
-    """The Stache runtime library, installable on a TyphoonMachine."""
+    """The Stache runtime library, installable on any TempestPort."""
 
     name = "stache"
 
@@ -86,7 +82,7 @@ class StacheProtocol:
     MIGRATE_DATA = "stache.migrate_data"
 
     def __init__(self) -> None:
-        self.machine: "TyphoonMachine | None" = None
+        self.machine: TempestPort | None = None
         # Per-node block the computation thread is currently faulted on
         # (None when running).  Lets the data-arrival handler tell a
         # demand fetch from a prefetch completion.
@@ -117,9 +113,9 @@ class StacheProtocol:
     # ------------------------------------------------------------------
     # Installation (what re-linking with the Stache library does)
     # ------------------------------------------------------------------
-    def install(self, machine: "TyphoonMachine") -> None:
+    def install(self, machine: TempestPort) -> None:
         self.machine = machine
-        costs = machine.config.typhoon
+        costs = machine.costs
         stats = machine.stats
         for node in machine.nodes:
             tempest = node.tempest
@@ -138,66 +134,66 @@ class StacheProtocol:
 
             # Request handlers (home side).
             register(
-                self.GET_RO, self._h_get_ro, costs.home_response_instructions
+                self.GET_RO, self._h_get_ro, costs.home_response
             )
             register(
-                self.GET_RW, self._h_get_rw, costs.home_response_instructions
+                self.GET_RW, self._h_get_rw, costs.home_response
             )
             # Response handlers.
             register(
-                self.DATA, self._h_data, costs.data_arrival_instructions
+                self.DATA, self._h_data, costs.data_arrival
             )
             register(
-                self.ACK, self._h_ack, costs.ack_handler_instructions
+                self.ACK, self._h_ack, costs.ack
             )
             register(
-                self.WB_DATA, self._h_wb_data, costs.ack_handler_instructions
+                self.WB_DATA, self._h_wb_data, costs.ack
             )
             # Copy-holder side handlers.
             register(
-                self.INVAL, self._h_inval, costs.invalidate_handler_instructions
+                self.INVAL, self._h_inval, costs.invalidate
             )
             register(
                 self.WRITEBACK, self._h_writeback,
-                costs.writeback_handler_instructions,
+                costs.writeback,
             )
             register(
                 self.REPL_DIRTY, self._h_repl_dirty,
-                costs.writeback_handler_instructions,
+                costs.writeback,
             )
             # Block-access-fault handlers, selected by (page mode, access).
             register(
                 self.FAULT_READ, self._f_remote_read,
-                costs.miss_request_instructions,
+                costs.miss_request,
             )
             register(
                 self.FAULT_WRITE, self._f_remote_write,
-                costs.miss_request_instructions,
+                costs.miss_request,
             )
             register(
                 self.HOME_FAULT_READ, self._f_home_read,
-                costs.home_response_instructions,
+                costs.home_response,
             )
             register(
                 self.HOME_FAULT_WRITE, self._f_home_write,
-                costs.home_response_instructions,
+                costs.home_response,
             )
             # Extensions: prefetch launch, check-in, page migration.
             register(
                 self.PREFETCH, self._h_prefetch,
-                costs.miss_request_instructions,
+                costs.miss_request,
             )
             register(
                 self.CHECKIN, self._h_checkin,
-                costs.writeback_handler_instructions,
+                costs.writeback,
             )
             register(
                 "stache.migrate_begin", self._h_migrate_begin,
-                costs.page_fault_instructions,
+                costs.page_fault,
             )
             register(
                 "stache.migrate_ready", self._h_migrate_ready,
-                costs.miss_request_instructions,
+                costs.miss_request,
             )
             node.np.set_fault_handler(PAGE_MODE_STACHE, False, self.FAULT_READ)
             node.np.set_fault_handler(PAGE_MODE_STACHE, True, self.FAULT_WRITE)
@@ -225,7 +221,7 @@ class StacheProtocol:
                 user_word={},  # block addr -> SoftwareDirectoryEntry
             )
 
-    def _machine(self) -> "TyphoonMachine":
+    def _machine(self) -> TempestPort:
         if self.machine is None:
             raise SimulationError("protocol not installed")
         return self.machine
@@ -344,7 +340,7 @@ class StacheProtocol:
     def _start_request(self, tempest: Tempest, block: int,
                        entry: SoftwareDirectoryEntry, requester: int,
                        want_write: bool) -> None:
-        costs = self._machine().config.typhoon
+        costs = self._machine().costs
         if not want_write:
             if entry.state is DirectoryState.EXCLUSIVE:
                 # Demote the owner to ReadOnly and wait for its data.
@@ -379,7 +375,7 @@ class StacheProtocol:
             if requester != tempest.node_id:
                 tempest.invalidate(block)  # home copy goes too
             for sharer in sorted(targets):
-                tempest.charge(costs.per_message_instructions)
+                tempest.charge(costs.per_message)
                 tempest.stats.incr("stache.invalidations_sent")
                 tempest.send(
                     sharer,
@@ -432,7 +428,7 @@ class StacheProtocol:
     def _grant(self, tempest: Tempest, block: int,
                entry: SoftwareDirectoryEntry, requester: int, rw: bool) -> None:
         """Deliver the block (or the local tag upgrade) to the requester."""
-        costs = self._machine().config.typhoon
+        costs = self._machine().costs
         if requester == tempest.node_id:
             # Home's own fault: upgrade the home tag and restart the CPU.
             if rw:
@@ -441,7 +437,7 @@ class StacheProtocol:
                 tempest.set_ro(block)
             tempest.resume()
         else:
-            tempest.charge(costs.np_block_copy_cycles)
+            tempest.charge(costs.block_copy)
             tempest.stats.incr("stache.data_replies")
             tempest.send(
                 requester,
@@ -464,7 +460,7 @@ class StacheProtocol:
             return
         requester, want_write = entry.pending.popleft()
         # A second directory pass costs another occupancy slice.
-        tempest.charge(self._machine().config.typhoon.home_response_instructions)
+        tempest.charge(self._machine().costs.home_response)
         self._start_request(tempest, block, entry, requester, want_write)
 
     # ------------------------------------------------------------------
@@ -525,8 +521,8 @@ class StacheProtocol:
         data = None
         wrote = False
         if holds:
-            costs = self._machine().config.typhoon
-            tempest.charge(costs.np_block_copy_cycles)
+            costs = self._machine().costs
+            tempest.charge(costs.block_copy)
             data = tempest.export_block(block)
             wrote = tempest.was_written(block)
             if demote == "ro":
@@ -577,9 +573,9 @@ class StacheProtocol:
             raise SimulationError(
                 f"unexpected writeback data for {block:#x} in {entry.state}"
             )
-        costs = self._machine().config.typhoon
+        costs = self._machine().costs
         if message.payload["data"] is not None:
-            tempest.charge(costs.np_block_copy_cycles)
+            tempest.charge(costs.block_copy)
             tempest.import_block(block, message.payload["data"])
         requester, want_write = entry.pending.popleft()
         old_owner = message.payload["owner"]
@@ -634,8 +630,8 @@ class StacheProtocol:
         """A replaced stache page sent a modified block home."""
         block = message.payload["addr"]
         entry = self._dir_entry(tempest, block)
-        costs = self._machine().config.typhoon
-        tempest.charge(costs.np_block_copy_cycles)
+        costs = self._machine().costs
+        tempest.charge(costs.block_copy)
         tempest.import_block(block, message.payload["data"])
         tempest.stats.incr("stache.replacement_writebacks")
         entry.owner = None
@@ -687,8 +683,8 @@ class StacheProtocol:
                     fetch_seq=self._next_fetch_seq(tempest.node_id, block),
                 )
                 return
-        costs = self._machine().config.typhoon
-        tempest.charge(costs.np_block_copy_cycles)
+        costs = self._machine().costs
+        tempest.charge(costs.block_copy)
         tempest.import_block(block, message.payload["data"])
         if message.payload["rw"]:
             tempest.set_rw(block)
@@ -748,7 +744,7 @@ class StacheProtocol:
         if not machine.nodes[node_id].page_table.is_mapped(addr):
             # Allocate the stache page first (same user-level page fault
             # work, charged to the prefetching thread).
-            yield machine.config.typhoon.page_fault_instructions
+            yield machine.costs.page_fault
             extra = self._page_fault(tempest, addr, is_write=False)
             if extra:
                 yield extra
@@ -817,9 +813,9 @@ class StacheProtocol:
         sharer = message.payload["sharer"]
         data = message.payload["data"]
         entry = self._dir_entry(tempest, block)
-        costs = self._machine().config.typhoon
+        costs = self._machine().costs
         if data is not None:
-            tempest.charge(costs.np_block_copy_cycles)
+            tempest.charge(costs.block_copy)
             tempest.import_block(block, data)
             entry.owner = None
             if entry.state is DirectoryState.EXCLUSIVE:
@@ -866,8 +862,8 @@ class StacheProtocol:
                     f"{entry.state.value} (migration requires quiescence)"
                 )
 
-        costs = machine.config.typhoon
-        yield costs.page_replace_instructions  # table surgery at the source
+        costs = machine.costs
+        yield costs.page_replace  # table surgery at the source
         # 1. Ask the new home to create the page.
         from repro.sim.process import Future
 
@@ -923,11 +919,11 @@ class StacheProtocol:
     def _replace_page(self, tempest: Tempest, new_page_addr: int) -> int:
         """Evict the FIFO-oldest stache page and reuse its frame."""
         machine = self._machine()
-        costs = machine.config.typhoon
+        costs = machine.costs
         victim = tempest.oldest_page_with_mode(PAGE_MODE_STACHE)
         if victim is None:
             raise SimulationError("stache budget is zero: nothing to replace")
-        extra = costs.page_replace_instructions
+        extra = costs.page_replace
         dirty_blocks = 0
         for block in machine.layout.blocks_in_page(victim.vpage):
             tag = tempest.read_tag(block)
@@ -943,7 +939,7 @@ class StacheProtocol:
                 )
             if tag in (Tag.READ_ONLY, Tag.READ_WRITE):
                 tempest.invalidate(block)
-        extra += dirty_blocks * costs.np_block_copy_cycles
+        extra += dirty_blocks * costs.block_copy
         tempest.image.clear_page(victim.vpage)
         tempest.remap_page(victim.vpage, new_page_addr, initial_tag=Tag.INVALID)
         # The recycled frame serves a (possibly) different home now.

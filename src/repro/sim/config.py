@@ -179,6 +179,16 @@ class BlizzardCosts:
     ECC/sentinel trick (free on the hit path), write checks cost a few
     instructions of inserted code, and the network is polled at every
     shared-memory reference.
+
+    The handler path-length fields mirror :class:`TyphoonCosts` name for
+    name and default to the same values: the protocol library is the
+    same user-level code on both backends, so its best-case instruction
+    counts carry over.  What differs is who executes them and at what
+    overhead (``software_dispatch_cycles`` and this section's CPI versus
+    the NP's), and the fields exist here so a Blizzard machine resolves
+    its costs from its *own* section — retuning ``config.blizzard``
+    affects Blizzard runs and leaves Typhoon runs alone (see
+    :class:`repro.tempest.port.CostDomain`).
     """
 
     #: Inserted-code cost per checked load (0 = the ECC/sentinel trick).
@@ -192,6 +202,21 @@ class BlizzardCosts:
     #: The CPU cannot overlap handler work with computation: every handler
     #: instruction is charged to the computation thread at this CPI.
     cycles_per_instruction: int = 1
+
+    # Protocol handler path lengths (same library as on Typhoon; see the
+    # matching TyphoonCosts fields for the provenance of each count).
+    miss_request_instructions: int = 14
+    home_response_instructions: int = 30
+    data_arrival_instructions: int = 20
+    invalidate_handler_instructions: int = 15
+    ack_handler_instructions: int = 25
+    writeback_handler_instructions: int = 25
+    page_fault_instructions: int = 250
+    page_replace_instructions: int = 150
+    per_message_instructions: int = 5
+    #: Copying a block to/from local DRAM costs the same bus round trip
+    #: whether the CPU or an NP issues it.
+    block_copy_cycles: int = 10
 
 
 @dataclass

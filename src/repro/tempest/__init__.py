@@ -19,17 +19,20 @@ these different systems").
 
 from repro.tempest.interface import Tempest, TempestBackend
 from repro.tempest.messaging import HandlerRegistry, HandlerSpec
+from repro.tempest.port import CostDomain, TempestPort
 from repro.tempest.threads import ComputationThread
 from repro.tempest.swbarrier import SoftwareBarrier
 from repro.tempest.sync import TempestLock, FetchAndOp
 
 __all__ = [
     "ComputationThread",
+    "CostDomain",
     "FetchAndOp",
     "HandlerRegistry",
     "HandlerSpec",
     "SoftwareBarrier",
     "Tempest",
     "TempestBackend",
+    "TempestPort",
     "TempestLock",
 ]

@@ -273,7 +273,7 @@ class TyphoonNode:
                 "with no user-level handler installed"
             )
         # The user-level page fault handler runs on the primary CPU.
-        yield self.config.typhoon.page_fault_instructions
+        yield self.machine.costs.page_fault
         extra = self.page_fault_handler(self.tempest, addr, is_write)
         if extra:
             yield extra

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.machine import MachineBase
 from repro.sim.config import MachineConfig
+from repro.tempest.port import CostDomain
 from repro.typhoon.node import TyphoonNode
 
 
@@ -21,6 +22,7 @@ class TyphoonMachine(MachineBase):
 
     def __init__(self, config: MachineConfig):
         super().__init__(config)
+        self.costs = CostDomain.from_typhoon(config.typhoon)
         self.nodes: list[TyphoonNode] = [
             TyphoonNode(node_id, self) for node_id in range(config.nodes)
         ]

@@ -1,0 +1,230 @@
+"""The composable system matrix, end to end.
+
+The registry's portability claim as executable tests: the new
+``backend:protocol`` combinations run complete workloads under the
+online conformance monitor, identical protocol code produces identical
+protocol message counts on both Tempest backends, and each backend
+charges the costs from its *own* config section (the cross-domain
+billing bug the CostDomain indirection fixed).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.synthetic import (
+    MigratoryApplication,
+    ProducerConsumerApplication,
+)
+from repro.backends import all_systems
+from repro.harness.runner import run_application
+from repro.harness.sweep import Sweep
+from repro.harness.workloads import workload
+from repro.sim.config import MachineConfig
+
+
+def _config(nodes=4, cache=2048, seed=7):
+    return MachineConfig(nodes=nodes, seed=seed).with_cache_size(cache)
+
+
+# ----------------------------------------------------------------------
+# New combinations, end to end under conformance
+# ----------------------------------------------------------------------
+# system -> (execution_time, refs, remote_packets, packets, words);
+# mp3d/small at nodes=4, seed=7, 2 KB caches — the same pinned
+# configuration as tests/integration/test_determinism_goldens.py.
+NEW_COMBO_GOLDENS = {
+    "typhoon:migratory": (74610, 6720, 2814, 2814, 18082),
+    "typhoon:ivy": (2103775, 6720, 97594, 99454, 1836794),
+    "blizzard:migratory": (133577, 6720, 2954, 2954, 18926),
+}
+
+
+@pytest.mark.parametrize("system", sorted(NEW_COMBO_GOLDENS))
+def test_new_combo_runs_clean_under_conformance(system):
+    res = run_application(system, workload("mp3d", "small").build(),
+                          _config(), conformance=True)
+    stats = res["machine"].stats
+    got = (round(res["execution_time"]), round(res["refs"]),
+           round(res["remote_packets"]),
+           round(stats.get("network.packets")),
+           round(stats.get("network.words")))
+    assert got == NEW_COMBO_GOLDENS[system]
+    monitor = res["machine"].conformance
+    assert monitor.checks > 0
+    assert monitor.violations == []
+
+
+def test_blizzard_ivy_runs_clean_under_conformance():
+    """The slowest new combo, on a small synthetic workload."""
+    res = run_application(
+        "blizzard:ivy", ProducerConsumerApplication(buffer_records=8,
+                                                    phases=3),
+        _config(cache=1024, seed=11), conformance=True)
+    monitor = res["machine"].conformance
+    assert monitor.checks > 0
+    assert monitor.violations == []
+    assert res["refs"] > 0
+
+
+# ----------------------------------------------------------------------
+# Cross-backend parity: identical protocol code, identical messages
+# ----------------------------------------------------------------------
+PARITY_KEYS = (
+    "stache.ro_requests", "stache.rw_requests", "stache.blocks_fetched",
+    "stache.data_replies", "stache.invalidations_sent",
+    "stache.blocks_invalidated", "stache.writeback_requests",
+)
+
+
+def _protocol_counts(system, app):
+    res = run_application(system, app, _config(cache=1024, seed=11))
+    stats = res["machine"].stats
+    counts = {key: stats.get(key) for key in PARITY_KEYS}
+    return counts, res["execution_time"]
+
+
+def test_stache_protocol_counts_identical_across_backends():
+    """Section 2's portability claim, quantified: the Stache library
+    makes the same protocol decisions on Typhoon and on Blizzard —
+    request for request, invalidation for invalidation — and only the
+    *cost* of executing them differs."""
+    typhoon, t_cycles = _protocol_counts(
+        "typhoon:stache", ProducerConsumerApplication(buffer_records=8,
+                                                      phases=3))
+    blizzard, b_cycles = _protocol_counts(
+        "blizzard:stache", ProducerConsumerApplication(buffer_records=8,
+                                                       phases=3))
+    assert typhoon == blizzard
+    assert typhoon["stache.ro_requests"] > 0
+    assert typhoon["stache.invalidations_sent"] > 0
+    assert b_cycles > t_cycles  # software dispatch is not free
+
+
+def test_migratory_protocol_counts_identical_across_backends():
+    typhoon, _ = _protocol_counts("typhoon:migratory",
+                                  MigratoryApplication(records=4, rounds=2))
+    blizzard, _ = _protocol_counts("blizzard:migratory",
+                                   MigratoryApplication(records=4, rounds=2))
+    assert typhoon == blizzard
+    assert typhoon["stache.rw_requests"] > 0
+
+
+# ----------------------------------------------------------------------
+# Cost domains: each backend bills from its own config section
+# ----------------------------------------------------------------------
+def _blizzard_cycles(config):
+    return run_application(
+        "blizzard:stache",
+        ProducerConsumerApplication(buffer_records=4, phases=2),
+        config)["execution_time"]
+
+
+def _typhoon_cycles(config):
+    return run_application(
+        "typhoon:stache",
+        ProducerConsumerApplication(buffer_records=4, phases=2),
+        config)["execution_time"]
+
+
+def test_blizzard_charges_blizzard_configured_costs():
+    """The regression the CostDomain refactor exists to prevent:
+    Blizzard handler charges come from ``config.blizzard``, and the
+    Typhoon cost section has no effect on a Blizzard run."""
+    base = _config(nodes=2, cache=1024, seed=3)
+    baseline = _blizzard_cycles(base)
+    blizzard_bumped = _blizzard_cycles(replace(
+        base, blizzard=replace(base.blizzard,
+                               home_response_instructions=300)))
+    typhoon_bumped = _blizzard_cycles(replace(
+        base, typhoon=replace(base.typhoon,
+                              home_response_instructions=300)))
+    assert blizzard_bumped > baseline
+    assert typhoon_bumped == baseline
+
+
+def test_typhoon_ignores_blizzard_configured_costs():
+    base = _config(nodes=2, cache=1024, seed=3)
+    baseline = _typhoon_cycles(base)
+    typhoon_bumped = _typhoon_cycles(replace(
+        base, typhoon=replace(base.typhoon,
+                              home_response_instructions=300)))
+    blizzard_bumped = _typhoon_cycles(replace(
+        base, blizzard=replace(base.blizzard,
+                               home_response_instructions=300)))
+    assert typhoon_bumped > baseline
+    assert blizzard_bumped == baseline
+
+
+def test_blizzard_costs_default_to_the_typhoon_path_lengths():
+    """The mirror defaults that keep the pre-refactor goldens
+    bit-identical: until someone calibrates Blizzard separately, both
+    domains resolve the same numbers."""
+    config = MachineConfig()
+    from repro.tempest.port import CostDomain
+
+    typhoon = CostDomain.from_typhoon(config.typhoon)
+    blizzard = CostDomain.from_blizzard(config.blizzard)
+    for name in CostDomain.names():
+        assert typhoon.get(name) == blizzard.get(name), name
+
+
+# ----------------------------------------------------------------------
+# Harness integration: sweep axis and CLI
+# ----------------------------------------------------------------------
+def test_sweep_all_systems_axis_covers_the_matrix():
+    sweep = Sweep().all_systems()
+    assert sweep._systems == list(all_systems())
+    cells = sweep.cell_list(nodes=2)
+    assert {cell[0] for cell in cells} == set(all_systems())
+
+
+def test_sweep_matrix_under_conformance_skips_specless_systems():
+    """``all_systems() x conformance(True)`` completes: the one
+    spec-less protocol (em3d-update) runs unchecked and its row says
+    so, instead of the sweep crashing mid-matrix."""
+    result = (Sweep().all_systems()
+              .workloads(("ocean", "small")).cache_sizes(1024).seeds(5)
+              .conformance(True)
+              .run(nodes=2))
+    by_system = {row["system"]: row for row in result.rows}
+    assert set(by_system) == set(all_systems())
+    assert by_system["typhoon:em3d-update"]["conformance"] == "no spec"
+    assert by_system["typhoon:em3d-update"]["checks"] == 0
+    for system, row in by_system.items():
+        if system != "typhoon:em3d-update":
+            assert row["conformance"] == "on"
+            assert row["checks"] > 0
+        assert row["violations"] == 0
+
+
+def test_cli_systems_command_lists_the_matrix(capsys):
+    from repro.cli import main
+
+    assert main(["systems"]) == 0
+    out = capsys.readouterr().out
+    for system in all_systems():
+        assert system in out
+    assert "decoupled handlers" in out  # the rejection note
+
+
+def test_cli_matrix_command_runs_every_system(capsys):
+    from repro.cli import main
+
+    assert main(["matrix", "--nodes", "2"]) == 0
+    out = capsys.readouterr().out
+    for system in all_systems():
+        assert system in out
+    assert "no spec" in out  # em3d-update row ran without conformance
+    assert "violation" not in out.lower()
+
+
+def test_run_application_accepts_canonical_and_alias_names():
+    app = ProducerConsumerApplication(buffer_records=4, phases=2)
+    canonical = run_application("typhoon:stache", app,
+                                _config(nodes=2, cache=1024, seed=3))
+    app = ProducerConsumerApplication(buffer_records=4, phases=2)
+    alias = run_application("typhoon-stache", app,
+                            _config(nodes=2, cache=1024, seed=3))
+    assert canonical["execution_time"] == alias["execution_time"]
+    assert canonical["remote_packets"] == alias["remote_packets"]

@@ -1,0 +1,205 @@
+"""The protocol/backend registries and system composition.
+
+Covers the composition layer's contract: registry contents and order,
+alias resolution, capability validation (with the missing capability
+named), registry-derived error suggestions, cost-domain resolution, the
+TempestPort structural check on both backends — and the import ban that
+keeps every module under ``repro.protocols`` backend-neutral.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+import repro.protocols as protocols_pkg
+from repro.backends import (
+    ALIASES,
+    BACKENDS,
+    CompositionError,
+    all_systems,
+    canonical_name,
+    compose,
+    parse_system,
+    spec_name_for,
+)
+from repro.protocols.registry import (
+    CAPABILITIES,
+    PROTOCOLS,
+    protocol_entry,
+    protocol_names,
+)
+from repro.sim.config import MachineConfig
+from repro.tempest.port import CostDomain, TempestPort
+
+
+def _config(nodes=2, cache=1024, seed=3):
+    return MachineConfig(nodes=nodes, seed=seed).with_cache_size(cache)
+
+
+# ----------------------------------------------------------------------
+# Registry contents
+# ----------------------------------------------------------------------
+def test_protocol_registry_contents_and_order():
+    assert protocol_names() == ("stache", "migratory", "ivy", "em3d-update")
+    for entry in PROTOCOLS.values():
+        assert entry.requires <= CAPABILITIES
+        assert callable(entry.factory)
+
+
+def test_backend_registry_contents():
+    assert tuple(BACKENDS) == ("dirnnb", "typhoon", "blizzard")
+    for entry in BACKENDS.values():
+        assert entry.provides <= CAPABILITIES
+    assert BACKENDS["dirnnb"].builtin_protocol == "dirnnb"
+    assert BACKENDS["typhoon"].builtin_protocol is None
+    # Blizzard's one missing capability is the decoupled handler
+    # processor — the whole point of the hardware NP.
+    assert (BACKENDS["typhoon"].provides - BACKENDS["blizzard"].provides
+            == {"decoupled-handlers"})
+
+
+def test_all_systems_is_the_valid_matrix():
+    assert all_systems() == (
+        "dirnnb",
+        "typhoon:stache", "typhoon:migratory", "typhoon:ivy",
+        "typhoon:em3d-update",
+        "blizzard:stache", "blizzard:migratory", "blizzard:ivy",
+    )
+
+
+def test_every_alias_resolves_to_a_valid_system():
+    for alias, canonical in ALIASES.items():
+        assert canonical_name(alias) == canonical
+        assert canonical in all_systems()
+        backend, protocol = parse_system(alias)
+        assert backend.name == canonical.split(":")[0]
+        assert protocol.name == canonical.split(":")[1]
+
+
+def test_legacy_system_names_still_compose():
+    for alias in ("typhoon-stache", "typhoon-update", "blizzard-stache"):
+        machine, protocol = compose(alias, _config())
+        assert protocol is not None
+        assert isinstance(machine, TempestPort)
+
+
+def test_unknown_protocol_lookup_names_the_choices():
+    with pytest.raises(ValueError, match="stache, migratory, ivy"):
+        protocol_entry("flash")
+
+
+# ----------------------------------------------------------------------
+# Composition validation
+# ----------------------------------------------------------------------
+def test_unknown_system_error_suggests_the_registry():
+    for bad in ("flash", "typhoon:flash", "flash:stache"):
+        with pytest.raises(ValueError) as excinfo:
+            parse_system(bad)
+        message = str(excinfo.value)
+        assert "typhoon:stache" in message
+        assert "blizzard:ivy" in message
+        assert "typhoon-stache" in message  # aliases listed too
+        assert not isinstance(excinfo.value, CompositionError)
+
+
+def test_capability_mismatch_is_rejected_with_the_missing_capability():
+    with pytest.raises(CompositionError, match="decoupled-handlers"):
+        parse_system("blizzard:em3d-update")
+
+
+def test_builtin_protocol_backend_takes_no_protocol():
+    with pytest.raises(CompositionError, match="hardware"):
+        parse_system("dirnnb:stache")
+
+
+def test_bare_protocol_needing_backend_is_rejected():
+    with pytest.raises(CompositionError, match="needs a protocol"):
+        parse_system("typhoon")
+
+
+def test_compose_builds_every_registered_system():
+    for system in all_systems():
+        machine, protocol = compose(system, _config())
+        if system == "dirnnb":
+            assert protocol is None
+            assert machine.costs is None
+        else:
+            assert machine.protocol is protocol
+            assert isinstance(machine, TempestPort)
+            expected = PROTOCOLS[system.split(":")[1]].conformance
+            if expected is None:
+                # em3d-update deliberately has no spec; its installed
+                # name is still reported (and maps to no SPECS entry).
+                assert spec_name_for(machine) == protocol.name
+            else:
+                assert spec_name_for(machine) == expected
+
+
+def test_spec_name_for_dirnnb_comes_from_the_backend_registry():
+    machine, _ = compose("dirnnb", _config())
+    assert spec_name_for(machine) == "dirnnb"
+
+
+# ----------------------------------------------------------------------
+# Cost domains
+# ----------------------------------------------------------------------
+def test_cost_domains_resolve_from_each_backend_config():
+    config = _config()
+    typhoon, _ = compose("typhoon:stache", config)
+    blizzard, _ = compose("blizzard:stache", config)
+    assert typhoon.costs.domain == "typhoon"
+    assert blizzard.costs.domain == "blizzard"
+    for name in CostDomain.names():
+        assert typhoon.costs.get(name) == blizzard.costs.get(name), name
+    assert (typhoon.costs.miss_request
+            == config.typhoon.miss_request_instructions)
+    assert (blizzard.costs.miss_request
+            == config.blizzard.miss_request_instructions)
+
+
+def test_cost_domain_rejects_unknown_names():
+    costs = CostDomain.from_typhoon(MachineConfig().typhoon)
+    with pytest.raises(KeyError):
+        costs.get("np_clock_multiplier")
+    with pytest.raises(KeyError):
+        costs["domain"]
+
+
+def test_both_backends_satisfy_tempest_port():
+    for system in ("typhoon:stache", "blizzard:stache"):
+        machine, _ = compose(system, _config())
+        assert isinstance(machine, TempestPort)
+        assert machine.num_nodes == 2
+        assert isinstance(machine.costs, CostDomain)
+
+
+# ----------------------------------------------------------------------
+# The import ban: protocols never touch backend modules
+# ----------------------------------------------------------------------
+BANNED_PREFIXES = ("repro.typhoon", "repro.blizzard")
+
+
+def _imported_modules(path: pathlib.Path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            yield node.module
+
+
+def test_no_protocol_module_imports_a_backend():
+    """Backend neutrality, enforced: the whole ``repro.protocols``
+    package — including lazy function-level imports — never names
+    ``repro.typhoon`` or ``repro.blizzard``."""
+    package_dir = pathlib.Path(protocols_pkg.__file__).parent
+    sources = sorted(package_dir.glob("*.py"))
+    assert len(sources) >= 8  # the package did not move out from under us
+    for source in sources:
+        for module in _imported_modules(source):
+            for banned in BANNED_PREFIXES:
+                assert not module.startswith(banned), (
+                    f"{source.name} imports {module}"
+                )
