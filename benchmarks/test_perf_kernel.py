@@ -1,19 +1,33 @@
-"""Simulation-kernel throughput benchmark (report-only).
+"""Simulation-kernel throughput benchmark: interpreted vs compiled.
 
-Times representative single runs — the workloads the hot-path work in
-``sim/engine.py``, ``sim/process.py``, and the node models targets — and
-writes ``BENCH_kernel.json`` at the repo root with wall-clock seconds and
-events/second per workload, so successive commits can be compared.
+Times representative runs — the workloads the hot-path work in
+``sim/engine.py``, ``sim/process.py``, the node models, and the
+table-driven dispatch kernel (:mod:`repro.kernel.compiled`) targets —
+under **both** dispatch kernels, prints them side by side, and writes
+``BENCH_kernel.json`` at the repo root so successive commits carry a
+throughput trajectory.
 
-No performance assertion is made here (wall-clock on shared CI boxes is
-too noisy to gate on); the only asserted properties are that the runs
-complete and that throughput is nonzero.  The JSON artifact is the
-deliverable.
+Methodology: each (workload, kernel) cell is run ``REPRO_BENCH_REPEATS``
+times (default 3) with the kernels interleaved, and the best wall time
+is kept — wall clock on shared boxes is noisy, and interleaving keeps a
+load spike from biasing one kernel's column.  Events/second uses each
+run's own event count; note the compiled kernel fires *fewer* events for
+identical simulated behaviour (tail dispatches advance the clock
+inline), so its events/s understates its real advantage —
+``cycles_per_second`` (simulated cycles per wall second) is the
+kernel-invariant throughput measure.
+
+The asserted properties here are completion, nonzero throughput, and
+kernel equivalence of the simulated outcome (cycles equal between
+kernels).  The regression gate against the committed baseline lives in
+``tools/check_perf.py`` (CI's ``perf`` job), with a wide tolerance for
+machine-to-machine variance.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -22,53 +36,101 @@ from repro.harness.runner import run_application
 from repro.harness.workloads import workload
 from repro.sim.config import MachineConfig
 
-#: (label, system, application, dataset, cache_bytes)
+#: (label, system, application, dataset, cache_bytes, kernels)
 KERNEL_WORKLOADS = [
-    ("ocean-typhoon", "typhoon-stache", "ocean", "small", 2048),
-    ("mp3d-typhoon", "typhoon-stache", "mp3d", "small", 2048),
-    ("em3d-dirnnb", "dirnnb", "em3d", "small", 2048),
-    ("ocean-blizzard", "blizzard-stache", "ocean", "small", 2048),
+    ("ocean-typhoon", "typhoon-stache", "ocean", "small", 2048,
+     ("interpreted", "compiled")),
+    ("mp3d-typhoon", "typhoon-stache", "mp3d", "small", 2048,
+     ("interpreted", "compiled")),
+    ("em3d-dirnnb", "dirnnb", "em3d", "small", 2048,
+     ("interpreted",)),  # hardware protocol: nothing to compile
+    ("ocean-blizzard", "blizzard-stache", "ocean", "small", 2048,
+     ("interpreted", "compiled")),
 ]
 
 _OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
 
 
-def _time_cell(system: str, app_name: str, dataset: str,
-               cache_bytes: int, nodes: int) -> dict:
+def _repeats() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+
+def _run_cell(system: str, app_name: str, dataset: str, cache_bytes: int,
+              nodes: int, kernel: str) -> tuple[float, dict]:
     config = MachineConfig(nodes=nodes, seed=42).with_cache_size(cache_bytes)
     app = workload(app_name, dataset).build()
     start = time.perf_counter()
-    outcome = run_application(system, app, config)
-    elapsed = time.perf_counter() - start
-    events = outcome["machine"].engine.events_fired
-    return {
+    outcome = run_application(system, app, config, kernel=kernel)
+    return time.perf_counter() - start, outcome
+
+
+def _time_cell(system: str, app_name: str, dataset: str, cache_bytes: int,
+               nodes: int, kernels: tuple[str, ...]) -> dict:
+    best: dict[str, tuple[float, dict]] = {}
+    for _ in range(_repeats()):
+        for kernel in kernels:  # interleaved: noise hits both columns
+            elapsed, outcome = _run_cell(
+                system, app_name, dataset, cache_bytes, nodes, kernel
+            )
+            if kernel not in best or elapsed < best[kernel][0]:
+                best[kernel] = (elapsed, outcome)
+
+    row: dict = {
         "system": system,
         "application": app_name,
         "dataset": dataset,
         "cache_bytes": cache_bytes,
-        "wall_seconds": round(elapsed, 6),
-        "events_fired": events,
-        "events_per_second": round(events / elapsed, 1) if elapsed > 0 else 0.0,
-        "simulated_cycles": outcome["execution_time"],
+        "kernels": {},
     }
+    for kernel, (elapsed, outcome) in best.items():
+        events = outcome["machine"].engine.events_fired
+        cycles = outcome["execution_time"]
+        row["kernels"][kernel] = {
+            "kernel_installed": outcome["kernel"],
+            "wall_seconds": round(elapsed, 6),
+            "events_fired": events,
+            "events_per_second": round(events / elapsed, 1) if elapsed else 0.0,
+            "cycles_per_second": round(cycles / elapsed, 1) if elapsed else 0.0,
+            "simulated_cycles": cycles,
+        }
+    if "interpreted" in best and "compiled" in best:
+        ti, tc = best["interpreted"][0], best["compiled"][0]
+        row["speedup"] = round(ti / tc, 3) if tc > 0 else None
+    else:
+        row["speedup"] = None
+    return row
 
 
 def test_kernel_throughput():
     nodes = nodes_under_test()
     results = {}
     print()
-    for label, system, app_name, dataset, cache_bytes in KERNEL_WORKLOADS:
-        row = _time_cell(system, app_name, dataset, cache_bytes, nodes)
+    for label, system, app_name, dataset, cache_bytes, kernels \
+            in KERNEL_WORKLOADS:
+        row = _time_cell(system, app_name, dataset, cache_bytes, nodes,
+                         kernels)
         results[label] = row
-        print(f"{label:>16}: {row['wall_seconds'] * 1e3:8.1f} ms  "
-              f"{row['events_per_second']:>12,.0f} events/s  "
-              f"({row['events_fired']:,} events)")
-        assert row["events_fired"] > 0
-        assert row["events_per_second"] > 0
+        for kernel in kernels:
+            cell = row["kernels"][kernel]
+            print(f"{label:>16} [{kernel:>11}]: "
+                  f"{cell['wall_seconds'] * 1e3:8.1f} ms  "
+                  f"{cell['events_per_second']:>10,.0f} events/s  "
+                  f"{cell['cycles_per_second']:>10,.0f} cycles/s")
+            assert cell["events_fired"] > 0
+            assert cell["events_per_second"] > 0
+        if row["speedup"] is not None:
+            print(f"{label:>16} [    speedup]: {row['speedup']:8.2f}x "
+                  f"(compiled vs interpreted, wall)")
+            # Observable equivalence: both kernels simulate the same
+            # machine (the differential harness asserts the rest).
+            cycles = {cell["simulated_cycles"]
+                      for cell in row["kernels"].values()}
+            assert len(cycles) == 1, f"kernels disagree on cycles: {cycles}"
 
     payload = {
         "benchmark": "kernel-throughput",
         "nodes": nodes,
+        "repeats": _repeats(),
         "workloads": results,
     }
     _OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")

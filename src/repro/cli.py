@@ -104,6 +104,20 @@ _REGISTRY = {
                                           seed=args.seed)
         ],
     ),
+    "bench": (
+        "Dispatch-kernel throughput on the protocol hot path",
+        lambda args: [
+            experiments.run_bench(kernel=args.kernel, nodes=args.nodes,
+                                  seed=args.seed)
+        ],
+    ),
+    "differential": (
+        "Compiled-vs-interpreted kernel differential over the matrix",
+        lambda args: [
+            experiments.run_differential(nodes=min(args.nodes, 4),
+                                         seed=args.seed)
+        ],
+    ),
     "ablations": (
         "NP-speed, topology, contention, and first-touch ablations",
         lambda args: [
@@ -138,6 +152,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="master RNG seed (default 42)")
     parser.add_argument("--apps", type=str, default=",".join(APP_NAMES),
                         help="figure3 only: comma-separated app subset")
+    parser.add_argument("--kernel", choices=("interpreted", "compiled"),
+                        default="interpreted",
+                        help="bench only: dispatch kernel to time "
+                             "(default interpreted)")
     parser.add_argument("--format", choices=("text", "csv", "json"),
                         default="text", help="output format (default text)")
     return parser

@@ -1,0 +1,215 @@
+"""Differential testing: the interpreted dispatcher as the oracle.
+
+The compiled kernel (:mod:`repro.kernel.compiled`) promises *observable
+equivalence*: for any workload, any seed, any fault plan, a compiled run
+and an interpreted run produce bit-identical statistics, the same final
+memory image on every node, and the same simulated execution time.  The
+hand-written dispatch loops are thereby demoted from "the implementation"
+to "the oracle" — they define correct behaviour, and this module checks
+the fast kernel against them.
+
+One deliberate exception: ``engine.events_fired`` may differ.  The
+compiled kernel's tail-call optimisation advances the clock inline when
+a handler chain is the only work at the current time, eliding the heap
+round-trip the interpreted engine performs; the *order* and *timing* of
+every observable action are identical, but fewer engine events fire.
+``events_fired`` is bookkeeping about the simulator, not about the
+simulated machine, so :func:`compare_runs` excludes it (and asserts
+everything else, including the RNG-sensitive fault counters).
+
+Usage::
+
+    from repro.harness.differential import run_differential
+    result = run_differential("typhoon:stache", "mp3d", "small", config)
+    assert result.identical
+
+or sweep the whole compilable matrix (what ``python -m repro
+differential`` and ``tests/integration/test_differential.py`` do)::
+
+    for result in run_matrix(nodes=4):
+        assert result.identical or not result.compiled
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.harness.runner import run_application
+from repro.harness.workloads import workload
+from repro.sim.config import MachineConfig
+
+__all__ = [
+    "DifferentialResult",
+    "IGNORED_STATS",
+    "compare_runs",
+    "run_differential",
+    "run_matrix",
+    "compilable_systems",
+    "fallback_systems",
+]
+
+#: Statistics that are *about the simulator*, not the simulated machine:
+#: legitimately kernel-dependent, excluded from the identity check.
+#: (Currently empty — events_fired is read off the engine, not Stats,
+#: so no stat key needs masking; the tuple exists so a future
+#: simulator-internal counter has a documented place to go.)
+IGNORED_STATS: tuple[str, ...] = ()
+
+
+@dataclass
+class DifferentialResult:
+    """Outcome of one compiled-vs-interpreted comparison."""
+
+    system: str
+    app: str
+    dataset: str
+    #: True when the compiled kernel actually installed (False means the
+    #: system fell back to interpreted — the comparison is then trivially
+    #: identical and ``fallback_reason`` says why it ran interpreted).
+    compiled: bool
+    fallback_reason: str | None
+    #: Human-readable descriptions of every divergence (empty = pass).
+    diffs: list[str] = field(default_factory=list)
+    execution_time: float = 0.0
+    stats_compared: int = 0
+    events_interpreted: int = 0
+    events_compiled: int = 0
+
+    @property
+    def identical(self) -> bool:
+        return not self.diffs
+
+    def __repr__(self) -> str:
+        status = "identical" if self.identical else f"{len(self.diffs)} diffs"
+        return (f"DifferentialResult({self.system!r}, {self.app}/"
+                f"{self.dataset}, compiled={self.compiled}, {status})")
+
+
+def compare_runs(interpreted: dict[str, Any],
+                 compiled: dict[str, Any]) -> list[str]:
+    """Compare two :func:`run_application` outcomes; return divergences.
+
+    Checks, in order of diagnostic value: simulated execution time,
+    the full statistics dictionaries (every counter, every
+    distribution moment), and the final per-node memory images.
+    """
+    diffs: list[str] = []
+    if interpreted["execution_time"] != compiled["execution_time"]:
+        diffs.append(
+            f"execution_time: interpreted={interpreted['execution_time']} "
+            f"compiled={compiled['execution_time']}"
+        )
+    istats = interpreted["machine"].stats.as_dict()
+    cstats = compiled["machine"].stats.as_dict()
+    for key in IGNORED_STATS:
+        istats.pop(key, None)
+        cstats.pop(key, None)
+    for key in sorted(istats.keys() | cstats.keys()):
+        left, right = istats.get(key), cstats.get(key)
+        if left != right:
+            diffs.append(f"stat {key}: interpreted={left} compiled={right}")
+    for inode, cnode in zip(interpreted["machine"].nodes,
+                            compiled["machine"].nodes):
+        left = sorted(inode.image.items())
+        right = sorted(cnode.image.items())
+        if left != right:
+            delta = sum(1 for a, b in zip(left, right) if a != b)
+            delta += abs(len(left) - len(right))
+            diffs.append(
+                f"memory image node {inode.node_id}: {delta} words differ"
+            )
+    return diffs
+
+
+def run_differential(system: str, app: str = "mp3d", dataset: str = "small",
+                     config: MachineConfig | None = None,
+                     faults=None) -> DifferentialResult:
+    """Run ``system`` twice — interpreted and compiled — and compare.
+
+    Both runs get a freshly built application and machine from the same
+    seed, so the only variable is the dispatch kernel.  ``faults``
+    (forwarded to both runs) lets callers exercise the deopt paths:
+    a live fault plan forces the kernel's network fast paths off, and
+    the comparison then also proves the deopted closures byte-match.
+    """
+    if config is None:
+        config = MachineConfig(nodes=4, seed=42).with_cache_size(2048)
+    interpreted = run_application(
+        system, workload(app, dataset).build(), config,
+        faults=faults, kernel="interpreted",
+    )
+    compiled = run_application(
+        system, workload(app, dataset).build(), config,
+        faults=faults, kernel="compiled",
+    )
+    machine = compiled["machine"]
+    result = DifferentialResult(
+        system=system,
+        app=app,
+        dataset=dataset,
+        compiled=compiled["kernel"] == "compiled",
+        fallback_reason=machine.kernel_fallback_reason,
+        diffs=compare_runs(interpreted, compiled),
+        execution_time=interpreted["execution_time"],
+        stats_compared=len(interpreted["machine"].stats.as_dict()),
+        events_interpreted=interpreted["machine"].engine.events_fired,
+        events_compiled=machine.engine.events_fired,
+    )
+    return result
+
+
+def compilable_systems() -> list[str]:
+    """Every ``backend:protocol`` system whose protocol compiles."""
+    from repro.backends import all_systems, parse_system
+    from repro.protocols.compiled import compilable_spec
+
+    systems = []
+    for system in all_systems():
+        backend, protocol = parse_system(system)
+        if protocol is None:  # hardware protocol (DirNNB)
+            continue
+        if compilable_spec(protocol.name) is not None:
+            systems.append(system)
+    return systems
+
+
+def fallback_systems() -> list[str]:
+    """Every system that must *refuse* the compiled kernel."""
+    from repro.backends import all_systems
+
+    compilable = set(compilable_systems())
+    return [s for s in all_systems() if s not in compilable]
+
+
+def run_matrix(app: str = "mp3d", dataset: str = "small",
+               nodes: int = 4, seed: int = 42, cache_bytes: int = 2048,
+               faults=None) -> list[DifferentialResult]:
+    """Differential comparison across the full compilable matrix.
+
+    Also runs every *non*-compilable system once with
+    ``kernel="compiled"`` requested, verifying the fallback engages and
+    records its reason (those rows have ``compiled=False``).
+    """
+    config = MachineConfig(nodes=nodes, seed=seed).with_cache_size(cache_bytes)
+    results = []
+    for system in compilable_systems():
+        results.append(
+            run_differential(system, app, dataset, config, faults=faults)
+        )
+    for system in fallback_systems():
+        outcome = run_application(
+            system, workload(app, dataset).build(), config, kernel="compiled"
+        )
+        machine = outcome["machine"]
+        results.append(DifferentialResult(
+            system=system,
+            app=app,
+            dataset=dataset,
+            compiled=False,
+            fallback_reason=machine.kernel_fallback_reason,
+            execution_time=outcome["execution_time"],
+            events_interpreted=machine.engine.events_fired,
+            events_compiled=machine.engine.events_fired,
+        ))
+    return results

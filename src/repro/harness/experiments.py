@@ -909,3 +909,116 @@ def run_system_matrix(nodes: int = 2, cache_bytes: int = 1024,
         "composition string changed"
     )
     return result
+
+
+# ----------------------------------------------------------------------
+# Dispatch-kernel benchmark and differential check
+# ----------------------------------------------------------------------
+def run_bench(kernel: str = "interpreted", nodes: int = 8,
+              seed: int = 42, cache_bytes: int = 2048,
+              cells: tuple[tuple[str, str, str], ...] = (
+                  ("typhoon:stache", "mp3d", "small"),
+                  ("typhoon:stache", "ocean", "small"),
+                  ("blizzard:stache", "mp3d", "small"),
+              ),
+              repeats: int = 3) -> ExperimentResult:
+    """Time the protocol hot path under the selected dispatch kernel.
+
+    One row per ``(system, app, dataset)`` cell: best-of-``repeats``
+    wall time, engine events per second, and simulated cycles.  Run it
+    twice — ``python -m repro bench --kernel interpreted`` and
+    ``--kernel compiled`` — to see the table-driven kernel's speedup on
+    the same cells (the committed trajectory lives in
+    ``BENCH_kernel.json``; see ``benchmarks/test_perf_kernel.py``).
+    """
+    import time
+
+    from repro.kernel import KERNELS
+
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}: expected {KERNELS}")
+    result = ExperimentResult(
+        "bench",
+        f"Dispatch-kernel throughput ({kernel} kernel, {nodes} nodes, "
+        f"best of {repeats})",
+        ["system", "app", "kernel", "wall_s", "events", "events_per_s",
+         "cycles"],
+    )
+    for system, app_name, dataset in cells:
+        best = None
+        for _ in range(repeats):
+            app = workload(app_name, dataset).build()
+            start = time.perf_counter()
+            outcome = run_application(
+                system, app, _config(nodes, cache_bytes, seed),
+                kernel=kernel,
+            )
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best[0]:
+                best = (elapsed, outcome)
+        elapsed, outcome = best
+        events = outcome["machine"].engine.events_fired
+        result.add_row(
+            system=system,
+            app=f"{app_name}/{dataset}",
+            kernel=outcome["kernel"],
+            wall_s=round(elapsed, 4),
+            events=events,
+            events_per_s=round(events / elapsed) if elapsed > 0 else 0,
+            cycles=round(outcome["execution_time"]),
+        )
+    result.notes.append(
+        "kernel='compiled' fires fewer engine events for identical "
+        "simulated behaviour (tail dispatches advance the clock inline); "
+        "compare events_per_s across kernels, not events"
+    )
+    return result
+
+
+def run_differential(nodes: int = 4, seed: int = 42,
+                     cache_bytes: int = 2048, app: str = "mp3d",
+                     dataset: str = "small") -> ExperimentResult:
+    """Compiled-vs-interpreted differential check over the full matrix.
+
+    Every compilable ``backend:protocol`` system runs the same workload
+    twice — once per kernel — and the harness
+    (:mod:`repro.harness.differential`) asserts bit-identical statistics,
+    final memory images, and execution time.  Non-compilable systems
+    verify the fallback path instead.  A ``diffs`` column that is not 0
+    is a kernel bug.
+    """
+    from repro.harness.differential import run_matrix
+
+    result = ExperimentResult(
+        "differential",
+        f"Compiled-vs-interpreted differential ({app}/{dataset}, "
+        f"{nodes} nodes)",
+        ["system", "kernel", "identical", "diffs", "cycles",
+         "events_interp", "events_compiled", "fallback_reason"],
+    )
+    failures = 0
+    for row in run_matrix(app, dataset, nodes=nodes, seed=seed,
+                          cache_bytes=cache_bytes):
+        failures += 0 if row.identical else 1
+        reason = row.fallback_reason or ""
+        result.add_row(
+            system=row.system,
+            kernel="compiled" if row.compiled else "interpreted",
+            identical="yes" if row.identical else "NO",
+            diffs=len(row.diffs),
+            cycles=round(row.execution_time),
+            events_interp=row.events_interpreted,
+            events_compiled=row.events_compiled,
+            fallback_reason=reason if len(reason) < 48 else reason[:45] + "...",
+        )
+    if failures:
+        raise AssertionError(
+            f"differential check failed on {failures} system(s): the "
+            f"compiled kernel diverged from the interpreted oracle"
+        )
+    result.notes.append(
+        "identical = statistics, memory images, and execution time all "
+        "bit-equal between kernels (events_fired is engine bookkeeping "
+        "and may legitimately differ)"
+    )
+    return result

@@ -34,7 +34,8 @@ def build_machine(system: str, config: MachineConfig):
 
 
 def run_application(system: str, app, config: MachineConfig,
-                    faults=None, conformance: bool = False) -> dict[str, Any]:
+                    faults=None, conformance: bool = False,
+                    kernel: str = "interpreted") -> dict[str, Any]:
     """Run ``app`` on a fresh machine; returns timing and key statistics.
 
     ``faults`` (a FaultSpec/FaultPlan, see :mod:`repro.network.faults`)
@@ -47,8 +48,19 @@ def run_application(system: str, app, config: MachineConfig,
     returned machine's ``conformance`` monitor reports check counts.
     Requires a system whose protocol has a spec (the EM3D update
     protocol deliberately has none).
+
+    ``kernel="compiled"`` selects the table-driven dispatch kernel
+    (:mod:`repro.kernel`); systems whose protocol is not compilable
+    fall back to interpreted with the reason recorded on the returned
+    machine's ``kernel_fallback_reason``.  Compiled and interpreted
+    runs are statistically bit-identical (the differential harness,
+    :mod:`repro.harness.differential`, asserts exactly that).
     """
     machine, protocol = build_machine(system, config)
+    if kernel != "interpreted":
+        from repro.kernel import install_kernel
+
+        install_kernel(machine, kernel)
     if conformance:
         machine.enable_conformance()
     if faults is not None:
@@ -57,6 +69,7 @@ def run_application(system: str, app, config: MachineConfig,
     stats = machine.stats
     return {
         "system": system,
+        "kernel": machine.kernel_name,
         "execution_time": execution_time,
         "refs": stats.total(".cpu.refs"),
         "remote_packets": (stats.get("network.packets")

@@ -1,0 +1,59 @@
+"""Dispatch kernels: how a machine executes its protocol's hot path.
+
+Two kernels exist:
+
+* ``"interpreted"`` (the default) — the hand-written dispatch loops in
+  :mod:`repro.typhoon.np` and :mod:`repro.blizzard.node` run the
+  guard-wrapped handler closures exactly as previous PRs built them.
+  Nothing is installed; the machine is byte-for-byte the seed machine,
+  so every fixed-seed golden stays bit-identical.
+
+* ``"compiled"`` — the table-driven fast kernel
+  (:mod:`repro.kernel.compiled`): each node's protocol is lowered by
+  :mod:`repro.protocols.compiled` into dense dispatch rows (raw handler,
+  fused duplicate check, cost with cycles-per-instruction folded in),
+  and specialised dispatch closures are installed *as instance
+  attributes* over the interpreted methods.  The interpreted code is
+  untouched underneath — it remains the differential-testing oracle
+  (:mod:`repro.harness.differential`) — and deopt is ``__dict__.pop``.
+
+Selection is opt-in and name-based (``install_kernel(machine,
+"compiled")``); machines whose protocol is not compilable (the registry
+entry says so — ``em3d-update``, or hardware-protocol DirNNB) fall back
+to interpreted with the reason recorded on
+``machine.kernel_fallback_reason``, so a sweep over the full system
+matrix can request ``compiled`` unconditionally.
+"""
+
+from __future__ import annotations
+
+#: Valid kernel names, in preference order.
+KERNELS = ("interpreted", "compiled")
+
+
+def install_kernel(machine, kernel: str | None = "interpreted"):
+    """Select the dispatch kernel for ``machine``.
+
+    ``kernel=None`` or ``"interpreted"`` leaves the machine untouched.
+    ``"compiled"`` attempts to lower the installed protocol and install
+    the fast dispatch closures; on any declared-incompatibility (backend
+    with a hardware protocol, protocol not marked compilable) the
+    machine falls back to interpreted, recording why.  Returns the
+    installed :class:`~repro.kernel.compiled.CompiledKernel` or None.
+    """
+    if kernel is None or kernel == "interpreted":
+        machine.kernel = None
+        machine.kernel_name = "interpreted"
+        machine.kernel_fallback_reason = None
+        return None
+    if kernel != "compiled":
+        raise ValueError(
+            f"unknown kernel {kernel!r}: expected one of {KERNELS}"
+        )
+    from repro.kernel.compiled import CompiledKernel
+
+    installed, reason = CompiledKernel.try_install(machine)
+    machine.kernel = installed
+    machine.kernel_name = "compiled" if installed is not None else "interpreted"
+    machine.kernel_fallback_reason = reason
+    return installed

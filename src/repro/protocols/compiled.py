@@ -1,0 +1,252 @@
+"""The protocol compiler: lower a :class:`ProtocolSpec` into dense tables.
+
+PR 3 expressed every table protocol as a declarative specification —
+legal transition relations plus handler-name causality sets
+(:mod:`repro.protocols.conformance`).  This module inverts that
+relationship: instead of the hand-written handler classes being the
+source of truth and the spec a passive checker, the spec's transition
+tables are **lowered at machine-build time** into the dense arrays a
+table-driven dispatch kernel executes:
+
+* **Transition tables** — the spec's ``frozenset`` relations become flat
+  ``bytearray`` matrices indexed ``old_index * n_states + new_index``,
+  so legality is one index instead of a hash probe, and the successor
+  set of every state is a precomputed tuple.
+
+* **Event classification** — every handler name is assigned a dense
+  event index and a :class:`EventKind` derived from the spec's causality
+  sets (request, grant, inval, ack, writeback request/reply, other).
+
+* **Dispatch rows** — each registered handler is resolved once into a
+  :class:`DispatchRow`: the *raw* handler function (the
+  :class:`~repro.tempest.messaging.DeliveryGuard` wrapper is peeled via
+  its ``__wrapped__`` tag and its duplicate check re-fused by the
+  kernel), the guard itself, and the invocation cost with the backend's
+  cycles-per-instruction **folded in as a constant** — the multiply the
+  interpreted dispatcher performs per message happens here, once.
+
+The dense ``(state_index, event_index)`` array produced by
+:meth:`CompiledProtocolTable.dense` carries, per cell, the successor
+bitmask and the handler's folded cost — the machine-readable form of the
+spec that the kernel layer (:mod:`repro.kernel`) and the differential
+harness both consume.
+
+This module is backend-neutral by construction (the
+``repro.protocols`` import ban applies): it sees only a spec, a handler
+registry, and scalar cost parameters.  The backend-specific dispatch
+loops that *execute* these tables live in :mod:`repro.kernel.compiled`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any, Callable
+
+from repro.memory.tags import Tag
+from repro.protocols.conformance import ProtocolSpec, SPECS
+from repro.protocols.directory import DirectoryState
+from repro.tempest.messaging import HandlerRegistry
+
+__all__ = [
+    "EventKind",
+    "DispatchRow",
+    "CompiledTransitionTable",
+    "CompiledProtocolTable",
+    "compile_protocol",
+    "compilable_spec",
+]
+
+#: Canonical state orders (fixed, so indices are stable across nodes
+#: and across the differential harness's two machines).
+DIRECTORY_STATES: tuple[DirectoryState, ...] = tuple(DirectoryState)
+TAG_STATES: tuple[Tag, ...] = tuple(Tag)
+
+
+class EventKind(IntEnum):
+    """Dense classification of a handler, from the spec's causality sets."""
+
+    REQUEST = 0
+    GRANT = 1
+    INVAL = 2
+    ACK = 3
+    WB_REQUEST = 4
+    WB_REPLY = 5
+    OTHER = 6
+
+
+@dataclass(frozen=True)
+class DispatchRow:
+    """One handler, resolved for table-driven dispatch.
+
+    ``fn`` is the raw handler (guard wrapper peeled); ``seen`` is the
+    guard's duplicate check to re-fuse before calling ``fn`` (None when
+    the handler was registered unguarded); ``cost`` is the full folded
+    invocation charge in cycles.
+    """
+
+    name: str
+    index: int
+    kind: EventKind
+    fn: Callable[..., Any]
+    seen: Callable[[int, int], bool] | None
+    cost: int
+
+
+class CompiledTransitionTable:
+    """One legality relation as a dense matrix over indexed states."""
+
+    __slots__ = ("states", "index", "matrix", "successors", "masks")
+
+    def __init__(self, states: tuple, relation: frozenset):
+        self.states = states
+        self.index = {state: i for i, state in enumerate(states)}
+        n = len(states)
+        self.matrix = bytearray(n * n)
+        for old, new in relation:
+            self.matrix[self.index[old] * n + self.index[new]] = 1
+        #: Per-state tuple of legal successor indices, and the same as a
+        #: bitmask int (bit i set = successor index i legal).
+        self.successors = tuple(
+            tuple(j for j in range(n) if self.matrix[i * n + j])
+            for i in range(n)
+        )
+        self.masks = tuple(
+            sum(1 << j for j in row) for row in self.successors
+        )
+
+    def legal(self, old, new) -> bool:
+        """Index-based legality check, equivalent to spec membership."""
+        n = len(self.states)
+        return bool(self.matrix[self.index[old] * n + self.index[new]])
+
+    def pairs(self) -> frozenset:
+        """Round-trip the matrix back to the spec's relation form."""
+        states = self.states
+        n = len(states)
+        return frozenset(
+            (states[i], states[j])
+            for i in range(n)
+            for j in range(n)
+            if self.matrix[i * n + j]
+        )
+
+    def __repr__(self) -> str:
+        edges = sum(self.matrix)
+        return (f"CompiledTransitionTable(states={len(self.states)}, "
+                f"edges={edges})")
+
+
+class CompiledProtocolTable:
+    """Everything the kernel needs to dispatch one node's protocol.
+
+    Built per node (handler registries are per node) but cheap: the
+    transition matrices are shared structure, and dispatch rows resolve
+    lazily so handlers registered after the kernel installs (software
+    barriers, test fixtures) still compile on first use.
+    """
+
+    def __init__(self, spec: ProtocolSpec, registry: HandlerRegistry,
+                 cycles_per_instruction: int):
+        self.spec = spec
+        self.registry = registry
+        self.cycles_per_instruction = cycles_per_instruction
+        self.directory = (
+            CompiledTransitionTable(DIRECTORY_STATES,
+                                    spec.directory_transitions)
+            if spec.directory_transitions is not None else None
+        )
+        self.tags = (
+            CompiledTransitionTable(TAG_STATES, spec.tag_transitions)
+            if spec.tag_transitions is not None else None
+        )
+        self._kinds: dict[str, EventKind] = {}
+        for names, kind in (
+            (spec.request_handlers, EventKind.REQUEST),
+            (spec.grant_handlers, EventKind.GRANT),
+            (spec.inval_handlers, EventKind.INVAL),
+            (spec.ack_handlers, EventKind.ACK),
+            (spec.writeback_request_handlers, EventKind.WB_REQUEST),
+            (spec.writeback_reply_handlers, EventKind.WB_REPLY),
+        ):
+            for name in names:
+                self._kinds[name] = kind
+        self.rows: dict[str, DispatchRow] = {}
+        # Pre-resolve everything already registered so install-time
+        # errors (negative costs, malformed wrappers) surface eagerly.
+        for name in registry.names():
+            self.row(name)
+
+    # ------------------------------------------------------------------
+    def row(self, name: str) -> DispatchRow:
+        """The dispatch row for ``name``, resolving it on first use."""
+        row = self.rows.get(name)
+        if row is None:
+            spec = self.registry.lookup(name)  # raises on unknown names
+            fn = spec.fn
+            raw = getattr(fn, "__wrapped__", None)
+            if raw is None:
+                seen = None
+                raw = fn
+            else:
+                seen = fn.__guard__.seen
+            row = self.rows[name] = DispatchRow(
+                name=name,
+                index=len(self.rows),
+                kind=self._kinds.get(name, EventKind.OTHER),
+                fn=raw,
+                seen=seen,
+                cost=spec.instructions * self.cycles_per_instruction,
+            )
+        return row
+
+    def event_index(self, name: str) -> int:
+        return self.row(name).index
+
+    def dense(self) -> list[tuple[int, int, int]]:
+        """The ``(state_index, event_index) -> (successor_mask, kind,
+        cost)`` array, flattened row-major over directory states.
+
+        The artifact the issue names: every cell is constants only —
+        successor legality as a bitmask, the event's kind, and the
+        handler's folded cycle cost.  Protocols without a directory
+        relation (IVY) use their tag table's states instead.
+        """
+        table = self.directory if self.directory is not None else self.tags
+        masks = table.masks if table is not None else (0,)
+        rows = sorted(self.rows.values(), key=lambda r: r.index)
+        return [
+            (mask, int(row.kind), row.cost)
+            for mask in masks
+            for row in rows
+        ]
+
+    def __repr__(self) -> str:
+        return (f"CompiledProtocolTable(spec={self.spec.name!r}, "
+                f"handlers={len(self.rows)})")
+
+
+def compilable_spec(name: str | None) -> ProtocolSpec | None:
+    """The spec to compile for a protocol name, or None.
+
+    A protocol is compilable exactly when its registry entry says so
+    *and* a conformance spec exists to lower — the same tables drive
+    both the kernel and the checker, so a protocol without a spec
+    (em3d-update, deliberately) has nothing to compile from.
+    """
+    from repro.protocols.registry import PROTOCOLS
+
+    if name is None:
+        return None
+    for entry in PROTOCOLS.values():
+        if name in (entry.name, entry.conformance):
+            if not entry.compilable:
+                return None
+            return SPECS.get(entry.conformance)
+    return None
+
+
+def compile_protocol(spec: ProtocolSpec, registry: HandlerRegistry,
+                     cycles_per_instruction: int) -> CompiledProtocolTable:
+    """Lower ``spec`` against one node's registry into dense tables."""
+    return CompiledProtocolTable(spec, registry, cycles_per_instruction)

@@ -67,6 +67,13 @@ class ProtocolEntry:
     #: Key into :data:`repro.protocols.conformance.SPECS`, or None when
     #: the protocol deliberately has no specification.
     conformance: str | None
+    #: True when the protocol's dispatch can be lowered into the
+    #: table-driven compiled kernel (:mod:`repro.protocols.compiled`):
+    #: its behaviour is fully described by registered handlers plus a
+    #: conformance transition table.  Protocols that deliberately step
+    #: outside the table (em3d-update's delayed updates) stay False and
+    #: always run interpreted.
+    compilable: bool = False
 
 
 def _stache():
@@ -104,6 +111,7 @@ PROTOCOLS: dict[str, ProtocolEntry] = {
                         "invalidation (paper Section 3)",
             requires=frozenset({"fine-grain-tags", "active-messages"}),
             conformance="stache",
+            compilable=True,
         ),
         ProtocolEntry(
             name="migratory",
@@ -114,6 +122,7 @@ PROTOCOLS: dict[str, ProtocolEntry] = {
             # MigratoryProtocol.name is "stache-migratory"; the spec
             # table keys on that.
             conformance="stache-migratory",
+            compilable=True,
         ),
         ProtocolEntry(
             name="ivy",
@@ -124,6 +133,7 @@ PROTOCOLS: dict[str, ProtocolEntry] = {
                 "fine-grain-tags", "active-messages", "bulk-transfer",
             }),
             conformance="ivy",
+            compilable=True,
         ),
         ProtocolEntry(
             name="em3d-update",

@@ -8,7 +8,7 @@ Events scheduled for the same cycle fire in the order they were scheduled
 (FIFO tie-break via a monotone sequence number), which makes every
 simulation deterministic for a given seed.
 
-Two structural fast paths keep the common cases cheap (see
+Structural fast paths keep the common cases cheap (see
 ``docs/performance.md``):
 
 * **Zero-delay fast lane.**  ``schedule(0, ...)`` — the dominant event
@@ -20,14 +20,31 @@ Two structural fast paths keep the common cases cheap (see
   the run loop performs exactly that (time, seq) merge, so firing order
   is bit-identical to a single heap.
 
+* **Anonymous events.**  Most schedules never use the returned handle:
+  the caller discards it and nothing ever cancels the event.
+  :meth:`Engine.call_soon` (zero delay) and :meth:`Engine.schedule_anon`
+  / :meth:`Engine.schedule_at_anon` (timed) queue a bare
+  ``(seq, fn, args)`` / ``(time, seq, None, fn, args)`` tuple instead of
+  allocating an :class:`_Event`, skipping the hottest allocation in the
+  simulator.  Ordering is unchanged — both lanes order purely on
+  ``(time, seq)``, which anonymous entries carry in the same positions.
+
+* **Same-cycle batching.**  When the heap head lies strictly in the
+  future, an unbounded run drains the entire zero-delay fifo in one
+  tight loop without re-consulting the heap: events fired during the
+  drain can only append to the fifo (zero delay keeps ``time == now``)
+  or push heap entries at strictly later times, so the invariant holds
+  for the whole run and per-event lane comparison is skipped.
+
 * **Inline clock advance.**  :meth:`Engine.try_advance` lets a caller
   (the process layer, a node's inline-hit path) move the clock forward
   without a schedule/fire round trip when no queued event could fire in
   the skipped window — the Wind-Tunnel direct-execution trick applied to
   CPython overhead.
 
-The heap itself stores ``(time, seq, event)`` tuples so ordering uses
-C-level tuple comparison rather than a Python ``__lt__`` per sift step.
+The heap itself stores ``(time, seq, ...)`` tuples so ordering uses
+C-level tuple comparison rather than a Python ``__lt__`` per sift step;
+the unique ``seq`` guarantees comparison never reaches the third slot.
 """
 
 from __future__ import annotations
@@ -82,11 +99,14 @@ class Engine:
     """
 
     def __init__(self) -> None:
-        #: Timed events: a heap of (time, seq, event) tuples.
-        self._queue: list[tuple[float, int, _Event]] = []
+        #: Timed events: a heap of (time, seq, event) triples for
+        #: cancellable events and (time, seq, None, fn, args) quintuples
+        #: for anonymous ones (never cancelled, no handle).
+        self._queue: list[tuple] = []
         #: Zero-delay events: always carry the current clock value, in
-        #: seq order (the fast lane; see module docstring).
-        self._fifo: deque[_Event] = deque()
+        #: seq order (the fast lane; see module docstring).  Holds
+        #: _Event objects and anonymous (seq, fn, args) tuples.
+        self._fifo: deque = deque()
         self._seq = 0
         self.now: float = 0
         self._events_fired = 0
@@ -148,6 +168,60 @@ class Engine:
         return event
 
     # ------------------------------------------------------------------
+    # Anonymous scheduling (no handle, never cancelled)
+    # ------------------------------------------------------------------
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Queue ``fn(*args)`` to fire this cycle, after pending events.
+
+        The allocation-free form of ``schedule(0, ...)``: a bare
+        ``(seq, fn, args)`` tuple joins the zero-delay fifo.  No handle
+        is returned, so the event cannot be cancelled — exactly the
+        contract of self-dispatch call sites (future callbacks, process
+        kick-off) that drop the handle on the floor anyway.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        self._fifo.append((seq, fn, args))
+
+    def schedule_anon(self, delay: float, fn: Callable[..., Any],
+                      *args: Any) -> None:
+        """``schedule`` without a handle: the event cannot be cancelled.
+
+        Queues a bare tuple instead of an :class:`_Event` — for hot call
+        sites (message delivery, process wakeups, barrier releases) that
+        never cancel.  Firing order is identical to :meth:`schedule`.
+        """
+        if delay == 0:
+            seq = self._seq
+            self._seq = seq + 1
+            self._live += 1
+            self._fifo.append((seq, fn, args))
+            return
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} cycles in the past")
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        heapq.heappush(self._queue, (self.now + delay, seq, None, fn, args))
+
+    def schedule_at_anon(self, time: float, fn: Callable[..., Any],
+                         *args: Any) -> None:
+        """``schedule_at`` without a handle: the event cannot be cancelled."""
+        now = self.now
+        if time < now:
+            raise SimulationError(
+                f"cannot schedule at cycle {time}; clock is already at {now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        if time == now:
+            self._fifo.append((seq, fn, args))
+        else:
+            heapq.heappush(self._queue, (time, seq, None, fn, args))
+
+    # ------------------------------------------------------------------
     # Inline time advance (the process layer's compute fast path)
     # ------------------------------------------------------------------
     def try_advance(self, delay: float) -> bool:
@@ -176,29 +250,42 @@ class Engine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _next(self) -> tuple[_Event, bool] | None:
-        """Peek the next live event: ``(event, from_heap)`` or None.
-
-        Drops cancelled husks from both lane heads.  A fifo event always
-        carries the current clock value — the minimum over everything
-        queued — so a heap event precedes it only at equal time with a
-        smaller sequence number.
-        """
+    def _prune_heads(self) -> None:
+        """Drop cancelled husks from both lane heads (anonymous entries
+        are never cancelled, so only _Event heads need checking)."""
         fifo = self._fifo
         queue = self._queue
-        while fifo and fifo[0].cancelled:
+        while fifo:
+            head = fifo[0]
+            if type(head) is tuple or not head.cancelled:
+                break
             fifo.popleft()
-        while queue and queue[0][2].cancelled:
+        while queue:
+            entry = queue[0][2]
+            if entry is None or not entry.cancelled:
+                break
             heapq.heappop(queue)
+
+    def _next(self) -> tuple[float, bool] | None:
+        """Peek the next live event: ``(time, from_heap)`` or None.
+
+        A fifo event always carries the current clock value — the
+        minimum over everything queued — so a heap event precedes it
+        only at equal time with a smaller sequence number.
+        """
+        self._prune_heads()
+        fifo = self._fifo
+        queue = self._queue
         if fifo:
-            event = fifo[0]
+            head = fifo[0]
+            seq = head[0] if type(head) is tuple else head.seq
             if queue:
-                head = queue[0]
-                if head[0] == event.time and head[1] < event.seq:
-                    return head[2], True
-            return event, False
+                qhead = queue[0]
+                if qhead[0] == self.now and qhead[1] < seq:
+                    return qhead[0], True
+            return self.now, False
         if queue:
-            return queue[0][2], True
+            return queue[0][0], True
         return None
 
     def step(self) -> bool:
@@ -206,16 +293,25 @@ class Engine:
         nxt = self._next()
         if nxt is None:
             return False
-        event, from_heap = nxt
-        if from_heap:
-            heapq.heappop(self._queue)
-        else:
-            self._fifo.popleft()
-        self.now = event.time
-        event.fired = True
+        time, from_heap = nxt
+        self.now = time
         self._live -= 1
         self._events_fired += 1
-        event.fn(*event.args)
+        if from_heap:
+            entry = heapq.heappop(self._queue)
+            event = entry[2]
+            if event is None:
+                entry[3](*entry[4])
+            else:
+                event.fired = True
+                event.fn(*event.args)
+        else:
+            head = self._fifo.popleft()
+            if type(head) is tuple:
+                head[1](*head[2])
+            else:
+                head.fired = True
+                head.fn(*head.args)
         return True
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
@@ -237,41 +333,77 @@ class Engine:
         bounded = until is not None or max_events is not None
         try:
             while True:
-                # Drop cancelled husks at both lane heads, then pick the
-                # (time, seq) minimum across the two lanes.
-                while fifo and fifo[0].cancelled:
+                # Drop cancelled husks at both lane heads (anonymous
+                # tuples are never cancelled), then pick the (time, seq)
+                # minimum across the two lanes.
+                while fifo:
+                    head = fifo[0]
+                    if type(head) is tuple or not head.cancelled:
+                        break
                     popleft()
-                while queue and queue[0][2].cancelled:
+                while queue:
+                    qev = queue[0][2]
+                    if qev is None or not qev.cancelled:
+                        break
                     heappop(queue)
                 if fifo:
-                    event = fifo[0]
+                    if not bounded and (not queue or queue[0][0] > self.now):
+                        # Same-cycle batch: nothing in the heap can fire
+                        # this cycle, and events fired below only append
+                        # zero-delay work (still this cycle) or heap
+                        # entries at strictly later times, so the whole
+                        # fifo drains without re-checking the heap.  A
+                        # husk cancelled mid-drain is skipped here too.
+                        while fifo:
+                            head = popleft()
+                            if type(head) is tuple:
+                                self._live -= 1
+                                self._events_fired += 1
+                                head[1](*head[2])
+                            elif not head.cancelled:
+                                head.fired = True
+                                self._live -= 1
+                                self._events_fired += 1
+                                head.fn(*head.args)
+                        continue
+                    head = fifo[0]
                     from_heap = False
+                    etime = self.now
                     if queue:
-                        head = queue[0]
-                        if head[0] == event.time and head[1] < event.seq:
-                            event = head[2]
+                        qhead = queue[0]
+                        hseq = head[0] if type(head) is tuple else head.seq
+                        if qhead[0] == etime and qhead[1] < hseq:
                             from_heap = True
                 elif queue:
-                    event = queue[0][2]
                     from_heap = True
+                    etime = queue[0][0]
                 else:
                     break
                 if bounded:
-                    if until is not None and event.time > until:
+                    if until is not None and etime > until:
                         self.now = until
                         return
                     if max_events is not None and fired >= max_events:
                         return
                     fired += 1
-                if from_heap:
-                    heappop(queue)
-                else:
-                    popleft()
-                self.now = event.time
-                event.fired = True
                 self._live -= 1
                 self._events_fired += 1
-                event.fn(*event.args)
+                if from_heap:
+                    entry = heappop(queue)
+                    self.now = etime
+                    qev = entry[2]
+                    if qev is None:
+                        entry[3](*entry[4])
+                    else:
+                        qev.fired = True
+                        qev.fn(*qev.args)
+                else:
+                    head = popleft()
+                    if type(head) is tuple:
+                        head[1](*head[2])
+                    else:
+                        head.fired = True
+                        head.fn(*head.args)
             if until is not None and until > self.now:
                 self.now = until
         finally:

@@ -61,12 +61,12 @@ class Future:
         self._value = value
         callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
-            self.engine.schedule(0, callback, value)
+            self.engine.call_soon(callback, value)
 
     def add_callback(self, callback: Callable[[Any], None]) -> None:
         """Run ``callback(value)`` when resolved (immediately if already done)."""
         if self._done:
-            self.engine.schedule(0, callback, self._value)
+            self.engine.call_soon(callback, self._value)
         else:
             self._callbacks.append(callback)
 
@@ -115,7 +115,7 @@ class Process:
         self.finished = Future(engine)
         self._stack: list[Generator] = [generator]
         self._killed = False
-        engine.schedule(0, self._advance, None)
+        engine.call_soon(self._advance, None)
 
     # ------------------------------------------------------------------
     def kill(self) -> None:
@@ -192,7 +192,7 @@ class Process:
                     engine.now = target
                     send_value = None
                     continue
-                engine.schedule(yielded, self._advance, None)
+                engine.schedule_anon(yielded, self._advance, None)
                 return
             if isinstance(yielded, Future):
                 if yielded.done:
@@ -216,7 +216,7 @@ class Process:
                 if yielded == 0:
                     send_value = None
                     continue
-                engine.schedule(yielded, self._advance, None)
+                engine.schedule_anon(yielded, self._advance, None)
                 return
             raise SimulationError(
                 f"{self.name} yielded unsupported value {yielded!r}; "

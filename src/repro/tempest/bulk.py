@@ -42,11 +42,21 @@ class BulkTransferEngine:
         self.backend = backend
         self._pending: dict[int, Future] = {}      # transfers we initiated
         self._incoming: dict[int, dict] = {}       # transfers arriving here
-        backend.registry.register(
-            self.DATA_HANDLER, self._on_data, RECV_INSTRUCTIONS
+        # Like the protocol handlers, the bulk handlers are not
+        # idempotent (a duplicated done message would double-resolve the
+        # future; a duplicated chunk would over-count received): guard
+        # them against lossy-transport redelivery the same way.
+        from repro.tempest.messaging import DeliveryGuard
+
+        guard = DeliveryGuard(
+            getattr(backend, "stats", None),
+            f"node{backend.node_id}.bulk.duplicates_dropped",
         )
         backend.registry.register(
-            self.DONE_HANDLER, self._on_done, SEND_INSTRUCTIONS
+            self.DATA_HANDLER, guard.wrap(self._on_data), RECV_INSTRUCTIONS
+        )
+        backend.registry.register(
+            self.DONE_HANDLER, guard.wrap(self._on_done), SEND_INSTRUCTIONS
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,134 @@
+"""Differential testing: compiled kernel vs the interpreted oracle.
+
+The compiled kernel's whole contract is observable equivalence
+(``docs/performance.md``): identical statistics, identical final memory
+images, identical execution time — for every compilable system, with
+and without conformance monitoring, and under deterministic lossy
+networks (where the kernel deopts its network fast paths but keeps the
+table-driven NP dispatch).  ``events_fired`` is the one deliberate
+exception (engine bookkeeping; the compiled kernel's tail dispatches
+skip the event queue).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.synthetic import ProducerConsumerApplication
+from repro.harness.differential import (
+    compare_runs,
+    compilable_systems,
+    fallback_systems,
+    run_differential,
+    run_matrix,
+)
+from repro.harness.runner import run_application
+from repro.network.faults import FaultSpec
+from repro.sim.config import MachineConfig
+
+SMALL = dict(nodes=2, cache_bytes=1024)
+
+
+def _tiny_outcome(system, kernel, seed, faults=None):
+    config = MachineConfig(nodes=2, seed=seed).with_cache_size(1024)
+    return run_application(
+        system, ProducerConsumerApplication(buffer_records=4, phases=2),
+        config, faults=faults, kernel=kernel,
+    )
+
+
+# ----------------------------------------------------------------------
+# The full matrix (what CI's differential job runs at nodes=4)
+# ----------------------------------------------------------------------
+def test_matrix_covers_every_system():
+    assert set(compilable_systems()) == {
+        "typhoon:stache", "typhoon:migratory", "typhoon:ivy",
+        "blizzard:stache", "blizzard:migratory", "blizzard:ivy",
+    }
+    assert set(fallback_systems()) == {"dirnnb", "typhoon:em3d-update"}
+
+
+def test_differential_matrix_bit_identical():
+    results = run_matrix(nodes=2, cache_bytes=1024)
+    assert len(results) == len(compilable_systems()) + len(fallback_systems())
+    for result in results:
+        assert result.identical, (result.system, result.diffs)
+    compiled = [r for r in results if r.compiled]
+    assert {r.system for r in compiled} == set(compilable_systems())
+    for result in [r for r in results if not r.compiled]:
+        assert result.fallback_reason
+
+
+def test_differential_under_lossy_network():
+    lossy = FaultSpec(name="lossy", drop_pct=0.08, dup_pct=0.04,
+                      delay_pct=0.2, delay_min=1, delay_max=12)
+    result = run_differential(
+        "typhoon:stache", "mp3d", "small",
+        MachineConfig(nodes=2, seed=11).with_cache_size(1024),
+        faults=lossy,
+    )
+    # A live plan deopts the network fast paths; dispatch stays
+    # table-driven, and the runs must still be bit-identical.
+    assert result.compiled
+    assert result.identical, result.diffs
+
+
+def test_divergence_is_detected_not_assumed():
+    """compare_runs must actually see through the stats/image/exec-time
+    surfaces — feed it two runs that genuinely differ and expect diffs."""
+    lossy = FaultSpec(name="lossy", drop_pct=0.1, dup_pct=0.05)
+    left = _tiny_outcome("typhoon:stache", "interpreted", seed=7,
+                         faults=lossy)
+    right = _tiny_outcome("typhoon:stache", "interpreted", seed=8,
+                          faults=lossy)
+    # Different fault-RNG seeds drop different packets: real divergence.
+    assert compare_runs(left, right)
+    same = _tiny_outcome("typhoon:stache", "interpreted", seed=7,
+                         faults=lossy)
+    assert not compare_runs(left, same)
+
+
+# ----------------------------------------------------------------------
+# Property: random lossy networks, conformance on, kernels agree
+# ----------------------------------------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(
+    drop=st.integers(0, 10),
+    dup=st.integers(0, 5),
+    delay=st.integers(0, 25),
+    seed=st.integers(0, 2**16),
+)
+def test_property_lossy_conformance_stats_identical(drop, dup, delay, seed):
+    """Any seeded lossy plan, REPRO_CONFORMANCE=1: both kernels produce
+    identical statistics and memory images (and the fused conformance
+    monitor checked every transition in both)."""
+    spec = FaultSpec(
+        name="prop", drop_pct=drop / 100, dup_pct=dup / 100,
+        delay_pct=delay / 100, delay_min=1, delay_max=9,
+    )
+    previous = os.environ.get("REPRO_CONFORMANCE")
+    os.environ["REPRO_CONFORMANCE"] = "1"
+    try:
+        interpreted = _tiny_outcome(
+            "typhoon:stache", "interpreted", seed, faults=spec
+        )
+        compiled = _tiny_outcome(
+            "typhoon:stache", "compiled", seed, faults=spec
+        )
+    finally:
+        if previous is None:
+            del os.environ["REPRO_CONFORMANCE"]
+        else:
+            os.environ["REPRO_CONFORMANCE"] = previous
+    assert compiled["kernel"] == "compiled"
+    diffs = compare_runs(interpreted, compiled)
+    assert not diffs, diffs
+    imon = interpreted["machine"].conformance
+    cmon = compiled["machine"].conformance
+    assert imon is not None and cmon is not None
+    assert imon.checks == cmon.checks
+    assert imon.checks > 0

@@ -1,0 +1,158 @@
+"""Unit tests for the protocol compiler (:mod:`repro.protocols.compiled`).
+
+The lowering must be *lossless*: the dense matrices round-trip back to
+the spec's frozenset relations, costs fold the backend's
+cycles-per-instruction exactly, and guard peeling preserves the wrapped
+handler and its duplicate check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import compose
+from repro.protocols.compiled import (
+    DIRECTORY_STATES,
+    TAG_STATES,
+    CompiledTransitionTable,
+    EventKind,
+    compilable_spec,
+    compile_protocol,
+)
+from repro.protocols.conformance import SPECS
+from repro.sim.config import MachineConfig
+
+
+def build(system="typhoon:stache", nodes=2, **kwargs):
+    machine, protocol = compose(
+        system, MachineConfig(nodes=nodes, seed=7, **kwargs)
+    )
+    return machine, protocol
+
+
+# ----------------------------------------------------------------------
+# Transition tables
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spec_name", sorted(SPECS))
+def test_matrix_round_trips_to_spec_relation(spec_name):
+    spec = SPECS[spec_name]
+    if spec.directory_transitions is not None:
+        table = CompiledTransitionTable(
+            DIRECTORY_STATES, spec.directory_transitions
+        )
+        assert table.pairs() == spec.directory_transitions
+    if spec.tag_transitions is not None:
+        table = CompiledTransitionTable(TAG_STATES, spec.tag_transitions)
+        assert table.pairs() == spec.tag_transitions
+
+
+def test_legal_matches_set_membership_everywhere():
+    spec = SPECS["stache"]
+    table = CompiledTransitionTable(
+        DIRECTORY_STATES, spec.directory_transitions
+    )
+    for old in DIRECTORY_STATES:
+        for new in DIRECTORY_STATES:
+            assert table.legal(old, new) == (
+                (old, new) in spec.directory_transitions
+            )
+
+
+def test_successors_and_masks_agree_with_matrix():
+    spec = SPECS["stache"]
+    table = CompiledTransitionTable(
+        DIRECTORY_STATES, spec.directory_transitions
+    )
+    n = len(DIRECTORY_STATES)
+    for i in range(n):
+        expected = tuple(j for j in range(n) if table.matrix[i * n + j])
+        assert table.successors[i] == expected
+        assert table.masks[i] == sum(1 << j for j in expected)
+
+
+# ----------------------------------------------------------------------
+# Dispatch rows: cost folding and guard peeling
+# ----------------------------------------------------------------------
+def test_costs_fold_cycles_per_instruction():
+    machine, _protocol = build()
+    cpi = machine.config.typhoon.cycles_per_instruction
+    node = machine.nodes[0]
+    table = compile_protocol(SPECS["stache"], node.registry, cpi)
+    for name in node.registry.names():
+        row = table.row(name)
+        assert row.cost == node.registry.lookup(name).instructions * cpi
+        assert row.cost >= 0
+
+
+def test_guard_peeling_preserves_handler_and_seen():
+    machine, _protocol = build()
+    node = machine.nodes[0]
+    cpi = machine.config.typhoon.cycles_per_instruction
+    table = compile_protocol(SPECS["stache"], node.registry, cpi)
+    guarded = [name for name in node.registry.names()
+               if hasattr(node.registry.lookup(name).fn, "__wrapped__")]
+    assert guarded, "stache registers every protocol handler guarded"
+    for name in guarded:
+        wrapper = node.registry.lookup(name).fn
+        row = table.row(name)
+        assert row.fn is wrapper.__wrapped__
+        assert row.seen == wrapper.__guard__.seen
+
+
+def test_event_kinds_follow_causality_sets():
+    machine, _protocol = build()
+    node = machine.nodes[0]
+    spec = SPECS["stache"]
+    table = compile_protocol(
+        spec, node.registry, machine.config.typhoon.cycles_per_instruction
+    )
+    for name in spec.request_handlers:
+        if name in node.registry.names():
+            assert table.row(name).kind is EventKind.REQUEST
+    for name in spec.grant_handlers:
+        if name in node.registry.names():
+            assert table.row(name).kind is EventKind.GRANT
+
+
+def test_dense_is_constants_only():
+    machine, _protocol = build()
+    node = machine.nodes[0]
+    table = compile_protocol(
+        SPECS["stache"], node.registry,
+        machine.config.typhoon.cycles_per_instruction,
+    )
+    dense = table.dense()
+    n_states = len(DIRECTORY_STATES)
+    assert len(dense) == n_states * len(table.rows)
+    for mask, kind, cost in dense:
+        assert isinstance(mask, int) and mask >= 0
+        assert 0 <= kind <= max(EventKind)
+        assert isinstance(cost, int) and cost >= 0
+
+
+def test_rows_resolve_lazily_for_late_registration():
+    machine, _protocol = build()
+    node = machine.nodes[0]
+    table = compile_protocol(
+        SPECS["stache"], node.registry,
+        machine.config.typhoon.cycles_per_instruction,
+    )
+    calls = []
+    node.registry.register("__test.late", lambda t, m: calls.append(m), 5)
+    row = table.row("__test.late")
+    assert row.cost == 5 * machine.config.typhoon.cycles_per_instruction
+    assert row.seen is None  # registered unguarded
+    with pytest.raises(Exception):
+        table.row("__test.never_registered")
+
+
+# ----------------------------------------------------------------------
+# Compilability predicate
+# ----------------------------------------------------------------------
+def test_compilable_spec_matrix():
+    assert compilable_spec("stache") is SPECS["stache"]
+    assert compilable_spec("ivy") is SPECS["ivy"]
+    assert compilable_spec("stache-migratory") is not None
+    assert compilable_spec("em3d-update") is None
+    assert compilable_spec(None) is None
+    assert compilable_spec("no-such-protocol") is None

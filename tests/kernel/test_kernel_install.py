@@ -1,0 +1,133 @@
+"""Install/fallback/deopt behaviour of the compiled dispatch kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.synthetic import ProducerConsumerApplication
+from repro.backends import compose
+from repro.harness.runner import run_application
+from repro.kernel import KERNELS, install_kernel
+from repro.network.faults import FaultSpec
+from repro.sim.config import MachineConfig
+
+
+def build(system="typhoon:stache", nodes=2, **kwargs):
+    return compose(system, MachineConfig(nodes=nodes, seed=7, **kwargs))
+
+
+def tiny_app():
+    return ProducerConsumerApplication(buffer_records=4, phases=2)
+
+
+def run(system, kernel, faults=None, conformance=False, nodes=2):
+    return run_application(
+        system, tiny_app(),
+        MachineConfig(nodes=nodes, seed=7).with_cache_size(1024),
+        faults=faults, conformance=conformance, kernel=kernel,
+    )
+
+
+# ----------------------------------------------------------------------
+# Selection and fallback
+# ----------------------------------------------------------------------
+def test_interpreted_is_default_and_noop():
+    machine, _ = build()
+    assert install_kernel(machine, "interpreted") is None
+    assert machine.kernel is None
+    assert machine.kernel_name == "interpreted"
+    assert machine.kernel_fallback_reason is None
+
+
+def test_unknown_kernel_rejected():
+    machine, _ = build()
+    with pytest.raises(ValueError, match="unknown kernel"):
+        install_kernel(machine, "jit")
+    assert list(KERNELS) == ["interpreted", "compiled"]
+
+
+def test_compiled_installs_on_typhoon_stache():
+    machine, _ = build()
+    kernel = install_kernel(machine, "compiled")
+    assert kernel is not None
+    assert machine.kernel_name == "compiled"
+    assert machine.kernel_fallback_reason is None
+    assert kernel.np_fast and kernel.interconnect_fast
+    # Fast paths are instance attributes shadowing the methods.
+    assert "enqueue_message" in machine.nodes[0].np.__dict__
+    assert "send" in machine.interconnect.__dict__
+
+
+def test_em3d_update_falls_back_with_reason():
+    outcome = run("typhoon:em3d-update", kernel="compiled")
+    assert outcome["kernel"] == "interpreted"
+    machine = outcome["machine"]
+    assert machine.kernel is None
+    assert "not marked compilable" in machine.kernel_fallback_reason
+
+
+def test_dirnnb_falls_back_with_reason():
+    machine, _ = build("dirnnb")
+    assert install_kernel(machine, "compiled") is None
+    assert machine.kernel_name == "interpreted"
+    assert "hardware" in machine.kernel_fallback_reason
+
+
+def test_uninstall_restores_interpreted_methods():
+    machine, _ = build()
+    kernel = install_kernel(machine, "compiled")
+    kernel.uninstall()
+    np = machine.nodes[0].np
+    assert "enqueue_message" not in np.__dict__
+    assert "_pump" not in np.__dict__
+    assert "send" not in machine.interconnect.__dict__
+    assert "send" not in machine.nodes[0].tempest.__dict__
+
+
+# ----------------------------------------------------------------------
+# Deopt and refresh
+# ----------------------------------------------------------------------
+def test_live_fault_plan_deopts_np_and_interconnect():
+    machine, protocol = build()
+    kernel = install_kernel(machine, "compiled")
+    assert kernel.np_fast and kernel.interconnect_fast
+    machine.install_fault_plan(
+        FaultSpec(name="lossy", drop_pct=0.05, dup_pct=0.02)
+    )
+    # install_fault_plan calls kernel.refresh(): the stall/NACK/drop
+    # machinery lives in the interpreted loops, so both fast paths must
+    # have deopted back to them.
+    assert not kernel.np_fast
+    assert not kernel.interconnect_fast
+    np = machine.nodes[0].np
+    assert "enqueue_message" not in np.__dict__
+    assert "send" not in machine.interconnect.__dict__
+
+
+def test_null_fault_plan_keeps_fast_paths():
+    machine, _ = build()
+    kernel = install_kernel(machine, "compiled")
+    machine.install_fault_plan(FaultSpec(name="none"))
+    assert kernel.np_fast and kernel.interconnect_fast
+
+
+def test_conformance_monitor_fuses_into_compiled_dispatch():
+    outcome = run("typhoon:stache", kernel="compiled", conformance=True)
+    machine = outcome["machine"]
+    assert outcome["kernel"] == "compiled"
+    assert machine.conformance is not None
+    assert machine.conformance.checks > 0
+
+
+def test_blizzard_compiles_and_runs():
+    outcome = run("blizzard:stache", kernel="compiled")
+    assert outcome["kernel"] == "compiled"
+    assert outcome["refs"] > 0
+
+
+def test_describe_reports_modes():
+    machine, _ = build()
+    kernel = install_kernel(machine, "compiled")
+    info = kernel.describe()
+    assert info["np_fast"] is True
+    assert info["interconnect_fast"] is True

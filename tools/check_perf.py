@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Performance regression gate against the committed benchmark baseline.
+
+Compares a freshly measured ``BENCH_kernel.json`` (written by
+``benchmarks/test_perf_kernel.py``) against the baseline committed at
+``HEAD`` and fails on regression.  Three checks per workload/kernel
+cell, in increasing strictness:
+
+1. **Determinism** (exact, no tolerance): ``events_fired`` and
+   ``simulated_cycles`` must equal the committed baseline.  These are
+   properties of the simulated machine, not the host — any drift means
+   the simulation's behaviour changed, and the PR must regenerate the
+   baseline deliberately (re-run the benchmark and commit the new
+   ``BENCH_kernel.json``) so the trajectory records it.
+
+2. **Throughput** (tolerant): ``events_per_second`` must be at least
+   ``(1 - tolerance)`` of the baseline.  Default tolerance 0.25 —
+   the gate of CI's ``perf`` job — overridable with
+   ``REPRO_PERF_TOLERANCE`` (e.g. ``0.5`` on very noisy hosts).
+
+3. **Kernel ordering** (tolerant): on cells measured under both
+   kernels, the compiled kernel's wall-clock speedup over interpreted
+   must stay above ``REPRO_PERF_MIN_SPEEDUP`` (default 0.75, i.e. the
+   compiled kernel may never be more than 25% *slower* than the
+   interpreted oracle, whatever the host).
+
+Usage::
+
+    python tools/check_perf.py                   # fresh vs HEAD baseline
+    python tools/check_perf.py --baseline B.json # explicit baseline
+    python tools/check_perf.py --fresh F.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH = ROOT / "BENCH_kernel.json"
+
+
+def load_baseline(path: str | None) -> dict:
+    """The committed baseline: ``--baseline`` file or ``HEAD``'s copy."""
+    if path is not None:
+        return json.loads(Path(path).read_text())
+    try:
+        blob = subprocess.run(
+            ["git", "show", "HEAD:BENCH_kernel.json"],
+            cwd=ROOT, capture_output=True, text=True, check=True,
+        ).stdout
+    except subprocess.CalledProcessError:
+        print("no committed BENCH_kernel.json at HEAD and no --baseline "
+              "given: nothing to compare against", file=sys.stderr)
+        sys.exit(1)
+    return json.loads(blob)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON (default: HEAD's committed copy)")
+    parser.add_argument("--fresh", default=str(BENCH),
+                        help="freshly measured JSON (default: repo root)")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get(
+                            "REPRO_PERF_TOLERANCE", "0.25")),
+                        help="allowed fractional events/s regression")
+    parser.add_argument("--min-speedup", type=float,
+                        default=float(os.environ.get(
+                            "REPRO_PERF_MIN_SPEEDUP", "0.75")),
+                        help="floor on compiled-vs-interpreted speedup")
+    args = parser.parse_args(argv)
+
+    fresh_path = Path(args.fresh)
+    if not fresh_path.exists():
+        print(f"{fresh_path} not found: run "
+              f"'PYTHONPATH=src python -m pytest benchmarks/"
+              f"test_perf_kernel.py -q -s' first", file=sys.stderr)
+        return 1
+    fresh = json.loads(fresh_path.read_text())
+    baseline = load_baseline(args.baseline)
+
+    failures: list[str] = []
+    if fresh.get("nodes") != baseline.get("nodes"):
+        print(f"configuration mismatch: fresh nodes={fresh.get('nodes')} "
+              f"baseline nodes={baseline.get('nodes')}; not comparable",
+              file=sys.stderr)
+        return 1
+
+    base_cells = baseline.get("workloads", {})
+    for label, fresh_row in sorted(fresh.get("workloads", {}).items()):
+        base_row = base_cells.get(label)
+        if base_row is None:
+            print(f"{label:>16}: new workload (no baseline) -- recorded")
+            continue
+        for kernel, cell in sorted(fresh_row.get("kernels", {}).items()):
+            base = base_row.get("kernels", {}).get(kernel)
+            if base is None:
+                print(f"{label:>16} [{kernel}]: new kernel column -- recorded")
+                continue
+            for field in ("events_fired", "simulated_cycles"):
+                if cell[field] != base[field]:
+                    failures.append(
+                        f"{label} [{kernel}]: {field} changed "
+                        f"{base[field]} -> {cell[field]} (simulated "
+                        f"behaviour drifted; regenerate and commit "
+                        f"BENCH_kernel.json in this PR)"
+                    )
+            floor = base["events_per_second"] * (1 - args.tolerance)
+            ok = cell["events_per_second"] >= floor
+            print(f"{label:>16} [{kernel:>11}]: "
+                  f"{cell['events_per_second']:>10,.0f} events/s vs "
+                  f"baseline {base['events_per_second']:>10,.0f} "
+                  f"(floor {floor:,.0f}) {'ok' if ok else 'REGRESSED'}")
+            if not ok:
+                failures.append(
+                    f"{label} [{kernel}]: events/s regressed more than "
+                    f"{args.tolerance:.0%}: {cell['events_per_second']:,.0f}"
+                    f" < {floor:,.0f}"
+                )
+        speedup = fresh_row.get("speedup")
+        if speedup is not None and speedup < args.min_speedup:
+            failures.append(
+                f"{label}: compiled kernel speedup {speedup:.2f}x fell "
+                f"below the {args.min_speedup:.2f}x floor"
+            )
+
+    if failures:
+        print(f"\n{len(failures)} performance check(s) failed:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nall performance checks passed "
+          f"(tolerance {args.tolerance:.0%}, "
+          f"min speedup {args.min_speedup:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
