@@ -78,10 +78,10 @@ class AppbtApplication(Application):
 
     def _read_cell(self, ctx: AppContext, x: int, y: int, z: int):
         """Read every solution word of one cell (one 5x5-block stand-in)."""
-        words = []
-        for word in range(self.words_per_cell):
-            value = yield from ctx.read(self.cell_addr(x, y, z, word))
-            words.append(value)
+        words = yield from ctx.read_run([
+            self.cell_addr(x, y, z, word)
+            for word in range(self.words_per_cell)
+        ])
         return words
 
     def _update_cell(self, ctx: AppContext, x: int, y: int, z: int,

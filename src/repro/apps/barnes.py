@@ -190,11 +190,12 @@ class BarnesApplication(Application):
         for _step in range(self.iterations):
             # Phase 1: read every body's position (the replicated tree
             # build: all-to-all read sharing of body records).
-            positions = []
-            for body in range(self.bodies):
-                x = yield from ctx.read(self.body_array.addr(body, BODY_X))
-                y = yield from ctx.read(self.body_array.addr(body, BODY_Y))
-                positions.append((x, y))
+            coords = yield from ctx.read_run([
+                self.body_array.addr(body, offset)
+                for body in range(self.bodies)
+                for offset in (BODY_X, BODY_Y)
+            ])
+            positions = list(zip(coords[0::2], coords[1::2]))
             root = self._build_tree(positions)
             # Tree build cost: ~N log N insertion work.
             yield from ctx.compute(
@@ -204,15 +205,14 @@ class BarnesApplication(Application):
             cells = self._collect_cells(root)
             for node in cells:
                 if self.cell_array.owner_of(node.cell_index) == ctx.node_id:
-                    yield from ctx.write(
-                        self.cell_array.addr(node.cell_index, CELL_COMX),
-                        round(node.com_x, 9))
-                    yield from ctx.write(
-                        self.cell_array.addr(node.cell_index, CELL_COMY),
-                        round(node.com_y, 9))
-                    yield from ctx.write(
-                        self.cell_array.addr(node.cell_index, CELL_MASS),
-                        round(node.mass, 9))
+                    yield from ctx.write_run([
+                        (self.cell_array.addr(node.cell_index, CELL_COMX),
+                         round(node.com_x, 9)),
+                        (self.cell_array.addr(node.cell_index, CELL_COMY),
+                         round(node.com_y, 9)),
+                        (self.cell_array.addr(node.cell_index, CELL_MASS),
+                         round(node.mass, 9)),
+                    ])
             yield from ctx.barrier()
 
             # Phase 2: force computation for owned bodies; the tree walk
@@ -221,22 +221,23 @@ class BarnesApplication(Application):
                 x, y = positions[body]
                 visited: list[int] = []
                 fx, fy = self._force_on(root, x, y, body, visited)
-                for cell_index in visited:
-                    yield from ctx.read(
-                        self.cell_array.addr(cell_index, CELL_MASS))
+                yield from ctx.read_run([
+                    self.cell_array.addr(cell_index, CELL_MASS)
+                    for cell_index in visited
+                ])
                 yield from ctx.compute(flops=12 * max(1, len(visited)))
-                vx = yield from ctx.read(self.body_array.addr(body, BODY_VX))
-                vy = yield from ctx.read(self.body_array.addr(body, BODY_VY))
+                vx, vy = yield from ctx.read_run([
+                    self.body_array.addr(body, BODY_VX),
+                    self.body_array.addr(body, BODY_VY),
+                ])
                 vx = round(vx + fx * DT, 9)
                 vy = round(vy + fy * DT, 9)
-                yield from ctx.write(self.body_array.addr(body, BODY_VX), vx)
-                yield from ctx.write(self.body_array.addr(body, BODY_VY), vy)
-                yield from ctx.write(
-                    self.body_array.addr(body, BODY_X),
-                    round(x + vx * DT, 9))
-                yield from ctx.write(
-                    self.body_array.addr(body, BODY_Y),
-                    round(y + vy * DT, 9))
+                yield from ctx.write_run([
+                    (self.body_array.addr(body, BODY_VX), vx),
+                    (self.body_array.addr(body, BODY_VY), vy),
+                    (self.body_array.addr(body, BODY_X), round(x + vx * DT, 9)),
+                    (self.body_array.addr(body, BODY_Y), round(y + vy * DT, 9)),
+                ])
             yield from ctx.barrier()
 
     def _collect_cells(self, root: _TreeNode) -> list[_TreeNode]:

@@ -171,8 +171,7 @@ class Em3dApplication(Application):
         for index in my_h:
             for neighbour in self.h_edges[index]:
                 touched.add(self.e_nodes.addr(neighbour, VALUE_OFFSET))
-        for addr in sorted(touched):
-            yield from ctx.read(addr)
+        yield from ctx.read_run(sorted(touched))
         yield from ctx.barrier()
 
         for step in range(self.iterations):
@@ -207,10 +206,10 @@ class Em3dApplication(Application):
                     )
             value = yield from ctx.read(out_array.addr(index, VALUE_OFFSET))
             for edge, neighbour in enumerate(edges[index]):
-                n_value = yield from ctx.read(
-                    in_array.addr(neighbour, VALUE_OFFSET))
-                weight = yield from ctx.read(
-                    weights.addr(weight_base + slot * self.degree + edge))
+                n_value, weight = yield from ctx.read_run([
+                    in_array.addr(neighbour, VALUE_OFFSET),
+                    weights.addr(weight_base + slot * self.degree + edge),
+                ])
                 value -= n_value * weight
                 yield from ctx.compute(flops=2, overhead=2)
             yield from ctx.write(out_array.addr(index, VALUE_OFFSET),

@@ -65,8 +65,10 @@ class Mp3dApplication(Application):
     def worker(self, ctx: AppContext):
         for _step in range(self.iterations):
             for index in self.mols.owned_range(ctx.node_id):
-                position = yield from ctx.read(self.mols.addr(index, MOL_POS))
-                velocity = yield from ctx.read(self.mols.addr(index, MOL_VEL))
+                position, velocity = yield from ctx.read_run([
+                    self.mols.addr(index, MOL_POS),
+                    self.mols.addr(index, MOL_VEL),
+                ])
                 new_position = (position + velocity) % self.space_cells
                 yield from ctx.compute(flops=3, overhead=2)
                 yield from ctx.write(self.mols.addr(index, MOL_POS),

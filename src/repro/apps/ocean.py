@@ -83,15 +83,16 @@ class OceanApplication(Application):
                 if row in (0, self.grid - 1):
                     continue  # fixed boundary
                 for col in range(1, self.grid - 1):
-                    centre = yield from ctx.read(self.cell_addr(source, row, col))
-                    north = yield from ctx.read(
-                        self.cell_addr(source, row - 1, col))
-                    south = yield from ctx.read(
-                        self.cell_addr(source, row + 1, col))
-                    west = yield from ctx.read(
-                        self.cell_addr(source, row, col - 1))
-                    east = yield from ctx.read(
-                        self.cell_addr(source, row, col + 1))
+                    # The five stencil loads are one batched run (same
+                    # access order as the scalar reads they replace).
+                    centre, north, south, west, east = yield from (
+                        ctx.read_run([
+                            self.cell_addr(source, row, col),
+                            self.cell_addr(source, row - 1, col),
+                            self.cell_addr(source, row + 1, col),
+                            self.cell_addr(source, row, col - 1),
+                            self.cell_addr(source, row, col + 1),
+                        ]))
                     new = round(
                         0.2 * (centre + north + south + west + east), 9)
                     yield from ctx.compute(flops=5, overhead=3)

@@ -45,8 +45,11 @@ __all__ = [
     "compare_runs",
     "run_differential",
     "run_matrix",
+    "run_lane_differential",
+    "run_lane_matrix",
     "compilable_systems",
     "fallback_systems",
+    "all_lane_systems",
 ]
 
 #: Statistics that are *about the simulator*, not the simulated machine:
@@ -87,18 +90,23 @@ class DifferentialResult:
 
 
 def compare_runs(interpreted: dict[str, Any],
-                 compiled: dict[str, Any]) -> list[str]:
+                 compiled: dict[str, Any],
+                 labels: tuple[str, str] = ("interpreted", "compiled"),
+                 ) -> list[str]:
     """Compare two :func:`run_application` outcomes; return divergences.
 
     Checks, in order of diagnostic value: simulated execution time,
     the full statistics dictionaries (every counter, every
     distribution moment), and the final per-node memory images.
+    ``labels`` names the two runs in the divergence messages (the lane
+    axis passes ``("scalar", "batched")``).
     """
+    left_name, right_name = labels
     diffs: list[str] = []
     if interpreted["execution_time"] != compiled["execution_time"]:
         diffs.append(
-            f"execution_time: interpreted={interpreted['execution_time']} "
-            f"compiled={compiled['execution_time']}"
+            f"execution_time: {left_name}={interpreted['execution_time']} "
+            f"{right_name}={compiled['execution_time']}"
         )
     istats = interpreted["machine"].stats.as_dict()
     cstats = compiled["machine"].stats.as_dict()
@@ -108,17 +116,27 @@ def compare_runs(interpreted: dict[str, Any],
     for key in sorted(istats.keys() | cstats.keys()):
         left, right = istats.get(key), cstats.get(key)
         if left != right:
-            diffs.append(f"stat {key}: interpreted={left} compiled={right}")
-    for inode, cnode in zip(interpreted["machine"].nodes,
-                            compiled["machine"].nodes):
-        left = sorted(inode.image.items())
-        right = sorted(cnode.image.items())
+            diffs.append(
+                f"stat {key}: {left_name}={left} {right_name}={right}"
+            )
+    imachine = interpreted["machine"]
+    cmachine = compiled["machine"]
+    if hasattr(imachine, "shared_image"):
+        # DirNNB keeps one machine-wide image instead of per-node copies.
+        image_pairs = [("shared", imachine.shared_image,
+                        cmachine.shared_image)]
+    else:
+        image_pairs = [
+            (f"node {inode.node_id}", inode.image, cnode.image)
+            for inode, cnode in zip(imachine.nodes, cmachine.nodes)
+        ]
+    for label, iimage, cimage in image_pairs:
+        left = sorted(iimage.items())
+        right = sorted(cimage.items())
         if left != right:
             delta = sum(1 for a, b in zip(left, right) if a != b)
             delta += abs(len(left) - len(right))
-            diffs.append(
-                f"memory image node {inode.node_id}: {delta} words differ"
-            )
+            diffs.append(f"memory image {label}: {delta} words differ")
     return diffs
 
 
@@ -157,6 +175,73 @@ def run_differential(system: str, app: str = "mp3d", dataset: str = "small",
         events_compiled=machine.engine.events_fired,
     )
     return result
+
+
+def run_lane_differential(system: str, app: str = "mp3d",
+                          dataset: str = "small",
+                          config: MachineConfig | None = None,
+                          faults=None,
+                          kernel: str = "interpreted") -> DifferentialResult:
+    """Run ``system`` with scalar and batched lanes and compare.
+
+    The batched access lanes promise the same observable equivalence as
+    the compiled kernel: ``lanes="batched"`` changes wall-clock only —
+    simulated time, every statistic, and every node's final memory
+    image are bit-identical to the scalar decomposition.  ``faults``
+    exercises the lane deopt (a live fault plan turns the lanes off
+    per-call, so the batched run must decompose exactly like scalar).
+    The lane axis composes with the kernel axis; pass
+    ``kernel="compiled"`` to prove the fused compiled lanes too.
+    """
+    if config is None:
+        config = MachineConfig(nodes=4, seed=42).with_cache_size(2048)
+    scalar = run_application(
+        system, workload(app, dataset).build(), config,
+        faults=faults, kernel=kernel, lanes="scalar",
+    )
+    batched = run_application(
+        system, workload(app, dataset).build(), config,
+        faults=faults, kernel=kernel, lanes="batched",
+    )
+    machine = batched["machine"]
+    return DifferentialResult(
+        system=system,
+        app=app,
+        dataset=dataset,
+        compiled=batched["kernel"] == "compiled",
+        fallback_reason=machine.kernel_fallback_reason,
+        diffs=compare_runs(scalar, batched, labels=("scalar", "batched")),
+        execution_time=scalar["execution_time"],
+        stats_compared=len(scalar["machine"].stats.as_dict()),
+        events_interpreted=scalar["machine"].engine.events_fired,
+        events_compiled=machine.engine.events_fired,
+    )
+
+
+def all_lane_systems() -> list[str]:
+    """Every system; the lane axis applies regardless of compilability."""
+    from repro.backends import all_systems
+
+    return list(all_systems())
+
+
+def run_lane_matrix(app: str = "mp3d", dataset: str = "small",
+                    nodes: int = 4, seed: int = 42, cache_bytes: int = 2048,
+                    faults=None,
+                    kernel: str = "interpreted") -> list[DifferentialResult]:
+    """Batched-vs-scalar comparison across *every* system.
+
+    Unlike :func:`run_matrix`, no system is exempt: the lanes live in
+    the node models, so even systems whose protocol cannot compile
+    (DirNNB, the EM3D update protocol) must be bit-identical across
+    the axis.
+    """
+    config = MachineConfig(nodes=nodes, seed=seed).with_cache_size(cache_bytes)
+    return [
+        run_lane_differential(system, app, dataset, config,
+                              faults=faults, kernel=kernel)
+        for system in all_lane_systems()
+    ]
 
 
 def compilable_systems() -> list[str]:

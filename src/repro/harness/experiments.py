@@ -920,6 +920,8 @@ def run_bench(kernel: str = "interpreted", nodes: int = 8,
                   ("typhoon:stache", "mp3d", "small"),
                   ("typhoon:stache", "ocean", "small"),
                   ("blizzard:stache", "mp3d", "small"),
+                  ("typhoon:em3d-update", "em3d", "small"),
+                  ("dirnnb", "ocean", "small"),
               ),
               repeats: int = 3) -> ExperimentResult:
     """Time the protocol hot path under the selected dispatch kernel.
@@ -930,6 +932,12 @@ def run_bench(kernel: str = "interpreted", nodes: int = 8,
     ``--kernel compiled`` — to see the table-driven kernel's speedup on
     the same cells (the committed trajectory lives in
     ``BENCH_kernel.json``; see ``benchmarks/test_perf_kernel.py``).
+
+    The ``kernel`` column reports what actually ran, and ``fallback``
+    says why when that differs from what was requested — the
+    em3d-update and dirnnb cells exist precisely to keep the fallback
+    path visible in the table rather than silently timing interpreted
+    dispatch under a "compiled" heading.
     """
     import time
 
@@ -942,7 +950,7 @@ def run_bench(kernel: str = "interpreted", nodes: int = 8,
         f"Dispatch-kernel throughput ({kernel} kernel, {nodes} nodes, "
         f"best of {repeats})",
         ["system", "app", "kernel", "wall_s", "events", "events_per_s",
-         "cycles"],
+         "cycles", "fallback"],
     )
     for system, app_name, dataset in cells:
         best = None
@@ -958,6 +966,7 @@ def run_bench(kernel: str = "interpreted", nodes: int = 8,
                 best = (elapsed, outcome)
         elapsed, outcome = best
         events = outcome["machine"].engine.events_fired
+        reason = outcome["machine"].kernel_fallback_reason or ""
         result.add_row(
             system=system,
             app=f"{app_name}/{dataset}",
@@ -966,6 +975,7 @@ def run_bench(kernel: str = "interpreted", nodes: int = 8,
             events=events,
             events_per_s=round(events / elapsed) if elapsed > 0 else 0,
             cycles=round(outcome["execution_time"]),
+            fallback=reason if len(reason) < 44 else reason[:41] + "...",
         )
     result.notes.append(
         "kernel='compiled' fires fewer engine events for identical "
@@ -978,32 +988,38 @@ def run_bench(kernel: str = "interpreted", nodes: int = 8,
 def run_differential(nodes: int = 4, seed: int = 42,
                      cache_bytes: int = 2048, app: str = "mp3d",
                      dataset: str = "small") -> ExperimentResult:
-    """Compiled-vs-interpreted differential check over the full matrix.
+    """Two differential axes over the full system matrix.
 
-    Every compilable ``backend:protocol`` system runs the same workload
-    twice — once per kernel — and the harness
-    (:mod:`repro.harness.differential`) asserts bit-identical statistics,
-    final memory images, and execution time.  Non-compilable systems
-    verify the fallback path instead.  A ``diffs`` column that is not 0
-    is a kernel bug.
+    Axis ``kernel``: every compilable ``backend:protocol`` system runs
+    the same workload twice — interpreted and compiled — and the
+    harness (:mod:`repro.harness.differential`) asserts bit-identical
+    statistics, final memory images, and execution time.
+    Non-compilable systems verify the fallback path instead.
+
+    Axis ``lanes``: every system (no exemptions — the lanes live in the
+    node models, not the kernel) runs batched and scalar, under both
+    dispatch kernels, and must match the same way.  A ``diffs`` column
+    that is not 0 is a kernel or lane bug.
     """
-    from repro.harness.differential import run_matrix
+    from repro.harness.differential import run_lane_matrix, run_matrix
 
     result = ExperimentResult(
         "differential",
-        f"Compiled-vs-interpreted differential ({app}/{dataset}, "
+        f"Kernel and lane differential axes ({app}/{dataset}, "
         f"{nodes} nodes)",
-        ["system", "kernel", "identical", "diffs", "cycles",
+        ["axis", "system", "kernel", "identical", "diffs", "cycles",
          "events_interp", "events_compiled", "fallback_reason"],
     )
     failures = 0
-    for row in run_matrix(app, dataset, nodes=nodes, seed=seed,
-                          cache_bytes=cache_bytes):
+
+    def add(axis: str, row, kernel_label: str) -> None:
+        nonlocal failures
         failures += 0 if row.identical else 1
         reason = row.fallback_reason or ""
         result.add_row(
+            axis=axis,
             system=row.system,
-            kernel="compiled" if row.compiled else "interpreted",
+            kernel=kernel_label,
             identical="yes" if row.identical else "NO",
             diffs=len(row.diffs),
             cycles=round(row.execution_time),
@@ -1011,14 +1027,24 @@ def run_differential(nodes: int = 4, seed: int = 42,
             events_compiled=row.events_compiled,
             fallback_reason=reason if len(reason) < 48 else reason[:45] + "...",
         )
+
+    for row in run_matrix(app, dataset, nodes=nodes, seed=seed,
+                          cache_bytes=cache_bytes):
+        add("kernel", row, "compiled" if row.compiled else "interpreted")
+    for kernel in ("interpreted", "compiled"):
+        for row in run_lane_matrix(app, dataset, nodes=nodes, seed=seed,
+                                   cache_bytes=cache_bytes, kernel=kernel):
+            add("lanes", row, kernel)
     if failures:
         raise AssertionError(
-            f"differential check failed on {failures} system(s): the "
-            f"compiled kernel diverged from the interpreted oracle"
+            f"differential check failed on {failures} row(s): a fast "
+            f"path (compiled kernel or batched lanes) diverged from "
+            f"its oracle"
         )
     result.notes.append(
         "identical = statistics, memory images, and execution time all "
-        "bit-equal between kernels (events_fired is engine bookkeeping "
-        "and may legitimately differ)"
+        "bit-equal across the axis (events_fired is engine bookkeeping "
+        "and may legitimately differ); axis=lanes compares "
+        "batched-vs-scalar under each dispatch kernel"
     )
     return result

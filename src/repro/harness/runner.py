@@ -35,7 +35,8 @@ def build_machine(system: str, config: MachineConfig):
 
 def run_application(system: str, app, config: MachineConfig,
                     faults=None, conformance: bool = False,
-                    kernel: str = "interpreted") -> dict[str, Any]:
+                    kernel: str = "interpreted",
+                    lanes: str = "batched") -> dict[str, Any]:
     """Run ``app`` on a fresh machine; returns timing and key statistics.
 
     ``faults`` (a FaultSpec/FaultPlan, see :mod:`repro.network.faults`)
@@ -55,8 +56,17 @@ def run_application(system: str, app, config: MachineConfig,
     machine's ``kernel_fallback_reason``.  Compiled and interpreted
     runs are statistically bit-identical (the differential harness,
     :mod:`repro.harness.differential`, asserts exactly that).
+
+    ``lanes="scalar"`` turns the batched access lanes off so every
+    ``read_run``/``write_run`` decomposes to scalar accesses — the
+    other differential axis (batched runs are bit-identical to scalar,
+    including ``execution_time``; only wall-clock changes).
     """
+    if lanes not in ("batched", "scalar"):
+        raise ValueError(f"unknown lanes mode {lanes!r}: "
+                         "expected 'batched' or 'scalar'")
     machine, protocol = build_machine(system, config)
+    machine.batch_lanes = lanes == "batched"
     if kernel != "interpreted":
         from repro.kernel import install_kernel
 
@@ -70,6 +80,7 @@ def run_application(system: str, app, config: MachineConfig,
     return {
         "system": system,
         "kernel": machine.kernel_name,
+        "lanes": lanes,
         "execution_time": execution_time,
         "refs": stats.total(".cpu.refs"),
         "remote_packets": (stats.get("network.packets")

@@ -67,6 +67,11 @@ class MachineBase:
         #: Online conformance monitor (see repro.protocols.conformance);
         #: None unless :meth:`enable_conformance` was called.
         self.conformance = None
+        #: Batched access lanes (see repro.memory.mirror and the node
+        #: models' run_*_prefix methods): on by default; False makes
+        #: every AppContext run decompose to scalar accesses — the
+        #: differential oracle for the vectorised reference engine.
+        self.batch_lanes = True
         #: Backend-resolved named protocol costs (see
         #: :class:`repro.tempest.port.CostDomain`); set by machines that
         #: host user-level protocols (None on all-hardware DirNNB).

@@ -1,0 +1,122 @@
+"""Dense hit-probe mirrors for the vectorised reference engine.
+
+The batched access lanes (``AppContext.read_run``/``write_run``) need to
+answer "would this reference hit?" for long runs of addresses without
+walking the TLB/page-table/cache object graph once per element.  The
+:class:`AccessMirror` keeps a dense, per-page summary of exactly the
+state those probes consult:
+
+* ``page_flags[page_number]`` — an int with :data:`TLB_PRESENT` set while
+  the page number is resident in the CPU TLB and :data:`PAGE_MAPPED` set
+  while the page is mapped in the node's page table;
+* ``block_flags[page_number]`` — a ``bytearray`` with one byte per block
+  in the page: :data:`READ_HIT` while the block is cache-resident (any
+  state) and additionally :data:`WRITE_HIT` while it is resident
+  EXCLUSIVE (a write would hit without an upgrade).
+
+The mirror is *derived* state: the owning structures call the hook
+methods from their existing mutation paths (TLB install/evict/flush,
+page map/unmap, cache insert/invalidate/downgrade/flush), all of which
+are miss-path or coherence-path events — the hit path never touches the
+mirror, it only reads it.  The soundness contract is one-directional: a
+set bit must imply the structure would hit (the mirror may *under*-claim
+— that only costs lane throughput — but must never over-claim, which
+would diverge the batched schedule from the scalar one).
+"""
+
+from __future__ import annotations
+
+from repro.memory.address import AddressLayout
+
+#: ``page_flags`` bits.
+TLB_PRESENT = 0x1
+PAGE_MAPPED = 0x2
+
+#: ``block_flags`` bits.  READ_HIT is set for any resident line;
+#: WRITE_HIT additionally requires the line to be EXCLUSIVE.
+READ_HIT = 0x1
+WRITE_HIT = 0x2
+
+
+class AccessMirror:
+    """Per-node dense mirror of the reference hit path.
+
+    Keyed by virtual page *number* (``addr >> page_shift``).  TLB hooks
+    take page numbers (the TLB stores numbers); page-table and cache
+    hooks take addresses and shift internally.
+    """
+
+    __slots__ = ("page_flags", "block_flags", "_blocks_per_page",
+                 "_page_shift", "_page_low", "_block_shift")
+
+    def __init__(self, layout: AddressLayout):
+        self.page_flags: dict[int, int] = {}
+        self.block_flags: dict[int, bytearray] = {}
+        self._blocks_per_page = layout.blocks_per_page
+        self._page_shift = layout.page_size.bit_length() - 1
+        self._page_low = layout.page_size - 1
+        self._block_shift = layout.block_size.bit_length() - 1
+
+    # ------------------------------------------------------------------
+    # CPU TLB hooks (page numbers)
+    # ------------------------------------------------------------------
+    def tlb_install(self, page_number: int) -> None:
+        self.page_flags[page_number] = (
+            self.page_flags.get(page_number, 0) | TLB_PRESENT
+        )
+
+    def tlb_evict(self, page_number: int) -> None:
+        flags = self.page_flags.get(page_number)
+        if flags:
+            self.page_flags[page_number] = flags & ~TLB_PRESENT
+
+    def tlb_flush(self) -> None:
+        page_flags = self.page_flags
+        for page_number, flags in page_flags.items():
+            page_flags[page_number] = flags & ~TLB_PRESENT
+
+    # ------------------------------------------------------------------
+    # Page-table hooks (any address within the page)
+    # ------------------------------------------------------------------
+    def page_map(self, page_addr: int) -> None:
+        page_number = page_addr >> self._page_shift
+        self.page_flags[page_number] = (
+            self.page_flags.get(page_number, 0) | PAGE_MAPPED
+        )
+
+    def page_unmap(self, page_addr: int) -> None:
+        page_number = page_addr >> self._page_shift
+        flags = self.page_flags.get(page_number)
+        if flags:
+            self.page_flags[page_number] = flags & ~PAGE_MAPPED
+
+    # ------------------------------------------------------------------
+    # Cache hooks (block addresses)
+    # ------------------------------------------------------------------
+    def cache_set(self, block_addr: int, exclusive: bool) -> None:
+        page_number = block_addr >> self._page_shift
+        blocks = self.block_flags.get(page_number)
+        if blocks is None:
+            blocks = self.block_flags[page_number] = bytearray(
+                self._blocks_per_page
+            )
+        blocks[(block_addr & self._page_low) >> self._block_shift] = (
+            READ_HIT | WRITE_HIT if exclusive else READ_HIT
+        )
+
+    def cache_clear(self, block_addr: int) -> None:
+        blocks = self.block_flags.get(block_addr >> self._page_shift)
+        if blocks is not None:
+            blocks[(block_addr & self._page_low) >> self._block_shift] = 0
+
+    def cache_flush(self) -> None:
+        self.block_flags.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        resident = sum(
+            1 for blocks in self.block_flags.values() for b in blocks if b
+        )
+        return (
+            f"AccessMirror(pages={len(self.page_flags)}, "
+            f"resident_blocks={resident})"
+        )

@@ -17,6 +17,11 @@ suspension and handler dispatch (``read``/``write`` faulting and
 
 Tags exist only for pages registered with the store (the shared segment);
 private memory is untagged and always accessible.
+
+Internally each page's tags live in a dense ``bytearray`` of small
+integer codes (the RTLB's two-bits-per-block array, widened to a byte),
+so the per-reference :meth:`TagStore.check` is two indexed loads and an
+integer compare; the :class:`Tag` enum appears only at the API boundary.
 """
 
 from __future__ import annotations
@@ -39,6 +44,22 @@ class Tag(enum.Enum):
         if self is Tag.READ_ONLY:
             return not is_write
         return False
+
+
+#: Dense tag encoding: READ_WRITE=0 and READ_ONLY=1 so the permission
+#: check is a compare against the access type (see :meth:`TagStore.check`).
+TAG_READ_WRITE = 0
+TAG_READ_ONLY = 1
+TAG_INVALID = 2
+TAG_BUSY = 3
+
+_TAG_CODE = {
+    Tag.READ_WRITE: TAG_READ_WRITE,
+    Tag.READ_ONLY: TAG_READ_ONLY,
+    Tag.INVALID: TAG_INVALID,
+    Tag.BUSY: TAG_BUSY,
+}
+_CODE_TAG = (Tag.READ_WRITE, Tag.READ_ONLY, Tag.INVALID, Tag.BUSY)
 
 
 @dataclass(frozen=True)
@@ -70,8 +91,8 @@ class TagStore:
         #: Conformance hook: called ``observer(node, addr, old, new)`` on
         #: every :meth:`set_tag` (page registration resets bypass it).
         self.observer = None
-        # page base address -> list of tags, one per block in the page.
-        self._pages: dict[int, list[Tag]] = {}
+        # page base address -> bytearray of tag codes, one per block.
+        self._pages: dict[int, bytearray] = {}
         # Precomputed address arithmetic for the per-access tag check.
         self._page_mask = ~(layout.page_size - 1)
         self._page_low = layout.page_size - 1
@@ -84,7 +105,9 @@ class TagStore:
         page_addr = self.layout.page_of(page_addr)
         if page_addr in self._pages:
             raise TagStoreError(f"page {page_addr:#x} already registered")
-        self._pages[page_addr] = [initial] * self.layout.blocks_per_page
+        self._pages[page_addr] = bytearray(
+            [_TAG_CODE[initial]] * self.layout.blocks_per_page
+        )
 
     def drop_page(self, page_addr: int) -> None:
         page_addr = self.layout.page_of(page_addr)
@@ -94,14 +117,6 @@ class TagStore:
 
     def has_page(self, page_addr: int) -> bool:
         return self.layout.page_of(page_addr) in self._pages
-
-    def _slot(self, addr: int) -> tuple[list[Tag], int]:
-        tags = self._pages.get(addr & self._page_mask)
-        if tags is None:
-            raise TagStoreError(
-                f"no tags for unmapped page {addr & self._page_mask:#x}"
-            )
-        return tags, (addr & self._page_low) >> self._block_shift
 
     # ------------------------------------------------------------------
     # Checked accesses (Table 1: read, write)
@@ -113,14 +128,16 @@ class TagStore:
             raise TagStoreError(
                 f"no tags for unmapped page {addr & self._page_mask:#x}"
             )
-        tag = tags[(addr & self._page_low) >> self._block_shift]
-        if tag is Tag.READ_WRITE or (tag is Tag.READ_ONLY and not is_write):
+        # Permitted iff code 0 (RW), or code 1 (RO) on a read: the code
+        # just has to stay at or below 1 - is_write.
+        code = tags[(addr & self._page_low) >> self._block_shift]
+        if code == 0 or (code == 1 and not is_write):
             return None
         return AccessFault(
             addr=addr,
             block_addr=self.layout.block_of(addr),
             is_write=is_write,
-            tag=tag,
+            tag=_CODE_TAG[code],
             node=self.node,
         )
 
@@ -133,7 +150,7 @@ class TagStore:
             raise TagStoreError(
                 f"no tags for unmapped page {addr & self._page_mask:#x}"
             )
-        return tags[(addr & self._page_low) >> self._block_shift]
+        return _CODE_TAG[tags[(addr & self._page_low) >> self._block_shift]]
 
     def set_tag(self, addr: int, tag: Tag) -> None:
         tags = self._pages.get(addr & self._page_mask)
@@ -144,8 +161,8 @@ class TagStore:
         index = (addr & self._page_low) >> self._block_shift
         observer = self.observer
         if observer is not None:
-            observer(self.node, addr, tags[index], tag)
-        tags[index] = tag
+            observer(self.node, addr, _CODE_TAG[tags[index]], tag)
+        tags[index] = _TAG_CODE[tag]
 
     def set_rw(self, addr: int) -> None:
         self.set_tag(addr, Tag.READ_WRITE)
@@ -167,13 +184,13 @@ class TagStore:
         tags = self._pages.get(page_addr)
         if tags is None:
             raise TagStoreError(f"no tags for unmapped page {page_addr:#x}")
-        return list(tags)
+        return [_CODE_TAG[code] for code in tags]
 
     def counts(self) -> dict[Tag, int]:
         result = {tag: 0 for tag in Tag}
         for tags in self._pages.values():
-            for tag in tags:
-                result[tag] += 1
+            for code in tags:
+                result[_CODE_TAG[code]] += 1
         return result
 
     def __repr__(self) -> str:

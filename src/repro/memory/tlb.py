@@ -4,11 +4,16 @@ The TLB caches virtual page numbers.  A miss charges the configured
 penalty (25 cycles) at the point of access; the CPU and the NP each have
 one, and the NP additionally has a *reverse* TLB (see
 :mod:`repro.typhoon.rtlb`) keyed by physical page.
+
+Entries live in a plain insertion-ordered dict (the FIFO order is the
+insertion order; hits never refresh position), so a probe is a single
+dict membership test.  When a :class:`~repro.memory.mirror.AccessMirror`
+is attached (the CPU TLB of a node with batched lanes), every install,
+evict, and flush updates the mirror's TLB-present bit; the attribute is
+None for the NP TLB and the RTLB.
 """
 
 from __future__ import annotations
-
-from collections import OrderedDict
 
 from repro.sim.config import TlbConfig
 
@@ -19,7 +24,11 @@ class Tlb:
     def __init__(self, config: TlbConfig, name: str = "tlb"):
         self.config = config
         self.name = name
-        self._entries: OrderedDict[int, None] = OrderedDict()
+        # Node models alias this dict (cleared in place, never reassigned).
+        self._entries: dict[int, None] = {}
+        #: Optional :class:`repro.memory.mirror.AccessMirror`; the node
+        #: attaches one to its CPU TLB only.
+        self.mirror = None
         self.hits = 0
         self.misses = 0
 
@@ -29,21 +38,31 @@ class Tlb:
         Returns True on a hit.  FIFO means a hit does *not* refresh the
         entry's position, unlike LRU.
         """
-        if page_number in self._entries:
+        entries = self._entries
+        if page_number in entries:
             self.hits += 1
             return True
         self.misses += 1
-        if len(self._entries) >= self.config.entries:
-            self._entries.popitem(last=False)
-        self._entries[page_number] = None
+        if len(entries) >= self.config.entries:
+            oldest = next(iter(entries))
+            del entries[oldest]
+            if self.mirror is not None:
+                self.mirror.tlb_evict(oldest)
+        entries[page_number] = None
+        if self.mirror is not None:
+            self.mirror.tlb_install(page_number)
         return False
 
     def evict(self, page_number: int) -> bool:
         """Shoot down one entry (page remap/unmap)."""
+        if self.mirror is not None:
+            self.mirror.tlb_evict(page_number)
         return self._entries.pop(page_number, "absent") is None
 
     def flush(self) -> None:
         self._entries.clear()
+        if self.mirror is not None:
+            self.mirror.tlb_flush()
 
     def __contains__(self, page_number: int) -> bool:
         return page_number in self._entries

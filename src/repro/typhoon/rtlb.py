@@ -32,6 +32,10 @@ class ReverseTlb:
             TlbConfig(entries=entries, miss_cycles=miss_cycles), name="rtlb"
         )
         self.miss_cycles = miss_cycles
+        # Hot-probe aliases: the TLB's entry dict is cleared/popped in
+        # place, never reassigned, so the alias stays valid.
+        self._entries = self._tlb._entries
+        self._page_shift = layout.page_size.bit_length() - 1
 
     def probe(self, addr: int) -> int:
         """Probe for the page holding ``addr``; returns the cycle penalty.
@@ -39,8 +43,11 @@ class ReverseTlb:
         0 on a hit; ``miss_cycles`` on a miss (the entry is fetched and
         installed, FIFO-replacing the oldest).
         """
-        if self._tlb.access(self.layout.page_number(addr)):
+        page = addr >> self._page_shift
+        if page in self._entries:
+            self._tlb.hits += 1
             return 0
+        self._tlb.access(page)
         return self.miss_cycles
 
     def shoot_down(self, addr: int) -> None:

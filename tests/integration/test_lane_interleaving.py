@@ -1,0 +1,195 @@
+"""Property tests: batched access lanes vs the scalar decomposition.
+
+The vectorised run lanes (``AppContext.read_run`` / ``write_run`` /
+``access_plan``) promise that batching changes wall-clock only: for any
+interleaving of scalar and run accesses, on any backend, under any
+fault plan, the batched run is bit-identical — execution time, every
+statistic, every node's final memory image — to decomposing each run
+into per-element ``read``/``write`` calls.  Hypothesis generates the
+interleavings; ``compare_runs`` is the judge.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.base import AppContext, Application, SharedArray, run_app
+from repro.harness.differential import compare_runs
+from repro.harness.runner import run_application
+from repro.memory.mirror import PAGE_MAPPED, TLB_PRESENT
+from repro.network.faults import FaultSpec
+from repro.protocols.stache import StacheProtocol
+from repro.sim.config import MachineConfig
+from repro.typhoon.system import TyphoonMachine
+
+#: One record per cache block; 136 records = 4352 bytes, so the flat
+#: (non-striped) array straddles a 4 KB page boundary and generated
+#: runs can cross it.
+RECORDS = 136
+RECORD_BYTES = 32
+
+
+class InterleavingApplication(Application):
+    """Executes a generated program of scalar and run accesses."""
+
+    name = "synthetic.interleave"
+
+    def __init__(self, program):
+        self.program = program
+        self.array: SharedArray | None = None
+
+    def setup(self, machine, protocol=None) -> None:
+        self.array = SharedArray(machine, protocol, RECORDS, RECORD_BYTES,
+                                 label="ilv", striped=False)
+        for index in range(RECORDS):
+            self.poke(machine, self.array.addr(index), 0)
+
+    def worker(self, ctx: AppContext):
+        addr = self.array.addr
+        shift = ctx.node_id * 3  # nodes overlap but are not identical
+        value = ctx.node_id * 1000
+        for op, payload in self.program:
+            if op == "read":
+                yield from ctx.read(addr((payload + shift) % RECORDS))
+            elif op == "write":
+                value += 1
+                yield from ctx.write(addr((payload + shift) % RECORDS),
+                                     value)
+            elif op == "read_run":
+                yield from ctx.read_run(
+                    [addr((i + shift) % RECORDS) for i in payload])
+            elif op == "write_run":
+                pairs = []
+                for i in payload:
+                    value += 1
+                    pairs.append((addr((i + shift) % RECORDS), value))
+                yield from ctx.write_run(pairs)
+            elif op == "plan":
+                plan = []
+                for i, is_write in payload:
+                    if is_write:
+                        value += 1
+                        plan.append((addr((i + shift) % RECORDS), True,
+                                     value))
+                    else:
+                        plan.append((addr((i + shift) % RECORDS), False,
+                                     None))
+                yield from ctx.access_plan(plan)
+            elif op == "compute":
+                yield from ctx.compute(flops=payload)
+            elif op == "barrier":
+                yield from ctx.barrier()
+        yield from ctx.barrier()
+
+
+INDICES = st.integers(0, RECORDS - 1)
+#: Consecutive-biased runs: half the generated runs are a contiguous
+#: slice (the shape the lanes batch best and the shape that straddles
+#: pages), half arbitrary gathers.
+RUNS = st.one_of(
+    st.lists(INDICES, min_size=1, max_size=12),
+    st.tuples(INDICES, st.integers(1, 12)).map(
+        lambda span: [(span[0] + k) % RECORDS for k in range(span[1])]),
+)
+PROGRAMS = st.lists(
+    st.one_of(
+        st.tuples(st.just("read"), INDICES),
+        st.tuples(st.just("write"), INDICES),
+        st.tuples(st.just("read_run"), RUNS),
+        st.tuples(st.just("write_run"), RUNS),
+        st.tuples(st.just("plan"),
+                  st.lists(st.tuples(INDICES, st.booleans()),
+                           min_size=1, max_size=10)),
+        st.tuples(st.just("compute"), st.integers(0, 6)),
+        st.tuples(st.just("barrier"), st.just(0)),
+    ),
+    min_size=1, max_size=10,
+)
+
+LOSSY = FaultSpec(name="lossy", drop_pct=0.05, dup_pct=0.03,
+                  delay_pct=0.15, delay_min=1, delay_max=9)
+
+
+@given(program=PROGRAMS,
+       system=st.sampled_from(["typhoon:stache", "blizzard:stache",
+                               "typhoon:migratory"]),
+       kernel=st.sampled_from(["interpreted", "compiled"]),
+       faulty=st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_property_interleavings_bit_identical(program, system, kernel,
+                                              faulty):
+    faults = LOSSY if faulty else None
+    config = MachineConfig(nodes=2, seed=7).with_cache_size(1024)
+    outcomes = {}
+    for lanes in ("scalar", "batched"):
+        outcomes[lanes] = run_application(
+            system, InterleavingApplication(program), config,
+            faults=faults, kernel=kernel, lanes=lanes,
+        )
+    diffs = compare_runs(outcomes["scalar"], outcomes["batched"],
+                         labels=("scalar", "batched"))
+    assert not diffs, (system, kernel, faulty, diffs)
+
+
+# ----------------------------------------------------------------------
+# Regression: a run straddling a page boundary splits at the boundary
+# ----------------------------------------------------------------------
+class _WarmFirstPage(Application):
+    """Touches every word of the region's first page only."""
+
+    name = "synthetic.warm"
+
+    def __init__(self, region):
+        self.region = region
+
+    def setup(self, machine, protocol=None) -> None:
+        pass
+
+    def worker(self, ctx: AppContext):
+        base = self.region.base
+        for offset in range(0, 4096, 8):
+            yield from ctx.read(base + offset)
+
+
+def test_run_straddling_page_boundary_splits():
+    machine = TyphoonMachine(MachineConfig(nodes=1, seed=3))
+    protocol = StacheProtocol()
+    machine.install_protocol(protocol)
+    region = machine.heap.allocate(2 * 4096, label="straddle")
+    protocol.setup_region(region)
+    for offset in range(0, 2 * 4096, 8):
+        machine.nodes[0].image.write(region.base + offset, offset)
+    run_app(machine, _WarmFirstPage(region), protocol)
+
+    node = machine.nodes[0]
+    boundary = region.base + 4096
+    # Four words each side of the page boundary; only the first page is
+    # TLB-resident and cached.
+    addrs = [boundary - 32 + 8 * k for k in range(8)]
+    page0, page1 = addrs[0] >> 12, addrs[-1] >> 12
+    assert page0 != page1
+    flags = node.mirror.page_flags
+    assert flags.get(page0, 0) & TLB_PRESENT
+    assert flags.get(page0, 0) & PAGE_MAPPED
+    assert not flags.get(page1, 0) & TLB_PRESENT
+
+    out: list = []
+    index = node.run_read_prefix(addrs, 0, out)
+    # The lane commits exactly the first-page prefix and stops at the
+    # boundary; the unmapped second page is the tail's problem.
+    assert index == 4, index
+    assert out == [addrs[k] - region.base for k in range(4)]
+
+    # After the scalar path services the straddling element (one block
+    # fetch maps the page and caches the block), the retried lane
+    # commits the rest of the run.
+    def service(node_id):
+        yield from node.access(addrs[4], False)
+
+    machine.run_workers(service)
+    machine.engine._until = None
+    out2: list = []
+    index2 = node.run_read_prefix(addrs, 5, out2)
+    assert index2 == 8, index2
+    assert out2 == [addrs[k] - region.base for k in range(5, 8)]
