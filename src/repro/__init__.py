@@ -41,4 +41,16 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "__source_digest__"]
+
+
+def __getattr__(name: str):
+    # PEP 562: the source-tree fingerprint is computed on first access,
+    # not at import time (it hashes every .py file under the package).
+    # The sweep result store keys cached rows by it; see
+    # repro._fingerprint and repro.harness.store.
+    if name == "__source_digest__":
+        from repro._fingerprint import source_digest
+
+        return source_digest()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

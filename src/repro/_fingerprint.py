@@ -1,0 +1,37 @@
+"""Code-version fingerprint of the ``repro`` source tree.
+
+The sweep result store (:mod:`repro.harness.store`) keys every cached
+cell by the sweep axes *plus* this digest, so a cached row can never
+outlive the code that produced it: touch any ``.py`` file under the
+package and every prior entry silently becomes a miss (and is
+reclaimable with ``ResultStore.gc()``).
+
+The digest is exposed as ``repro.__source_digest__`` (PEP 562 module
+attribute) and covers every ``*.py`` file under the installed package
+directory — relative path and content both — so renames invalidate as
+reliably as edits.  It is computed once per process and cached; pass
+``refresh=True`` after modifying sources in-process (tests do).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+_cached: str | None = None
+
+
+def source_digest(refresh: bool = False) -> str:
+    """Hex digest (16 chars) of the ``repro`` package's source tree."""
+    global _cached
+    if _cached is None or refresh:
+        root = Path(__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py"),
+                           key=lambda p: p.relative_to(root).as_posix()):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _cached = digest.hexdigest()[:16]
+    return _cached

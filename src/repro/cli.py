@@ -8,6 +8,17 @@ Lets a user regenerate any paper artifact without writing code::
     python -m repro figure4 --nodes 32
     python -m repro messages
     python -m repro ablations
+
+plus the sweep service (``docs/sweeps.md``) — submit parameter sweeps
+as jobs over the content-addressed result store, query them, and
+manage the store::
+
+    python -m repro sweep submit --systems dirnnb,typhoon:stache \\
+        --workloads ocean:small --seeds 1,2 --nodes 2
+    python -m repro sweep status <job-id>
+    python -m repro sweep result <job-id> --format csv
+    python -m repro sweep store stats
+    python -m repro sweep store gc
 """
 
 from __future__ import annotations
@@ -118,6 +129,13 @@ _REGISTRY = {
                                          seed=args.seed)
         ],
     ),
+    "sweep-cache": (
+        "Cold vs warm sweep through the content-addressed result store",
+        lambda args: [
+            experiments.run_sweep_cache(nodes=min(args.nodes, 4),
+                                        seed=args.seed)
+        ],
+    ),
     "ablations": (
         "NP-speed, topology, contention, and first-touch ablations",
         lambda args: [
@@ -135,6 +153,173 @@ _REGISTRY = {
 }
 
 
+# ----------------------------------------------------------------------
+# The sweep service: python -m repro sweep <subcommand>
+# ----------------------------------------------------------------------
+def _parse_workloads(text: str) -> list[tuple[str, str]]:
+    """``"ocean:small,em3d:small"`` -> [("ocean", "small"), ...]."""
+    pairs = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        app_name, _, dataset = item.partition(":")
+        pairs.append((app_name, dataset or "small"))
+    return pairs
+
+
+def _build_sweep(args):
+    from repro.harness.sweep import Sweep
+
+    return (
+        Sweep()
+        .systems(*[name.strip() for name in args.systems.split(",")
+                   if name.strip()])
+        .workloads(*_parse_workloads(args.workloads))
+        .cache_sizes(*[int(size) for size in args.cache_sizes.split(",")])
+        .seeds(*[int(seed) for seed in args.seeds.split(",")])
+    )
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Submit, query, and serve parameter sweeps through "
+                    "the content-addressed result store "
+                    "(docs/sweeps.md).",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--store", default=None,
+                        help="store directory (default: $REPRO_STORE or "
+                             ".repro-store)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser(
+        "submit", parents=[common],
+        help="register a sweep job and (by default) run it")
+    submit.add_argument("--systems", default="dirnnb,typhoon:stache",
+                        help="comma-separated system names")
+    submit.add_argument("--workloads", default="ocean:small",
+                        help="comma-separated app:dataset pairs")
+    submit.add_argument("--cache-sizes", default="2048",
+                        help="comma-separated cache sizes in bytes")
+    submit.add_argument("--seeds", default="42",
+                        help="comma-separated RNG seeds")
+    submit.add_argument("--nodes", type=int, default=8,
+                        help="simulated processors per cell (default 8)")
+    submit.add_argument("--workers", type=int, default=1,
+                        help="process-pool width for cell execution")
+    submit.add_argument("--no-run", action="store_true",
+                        help="register only; execute later with "
+                             "'sweep run <job-id>'")
+
+    for name, help_text in (
+            ("status", "job state and cells-in-store progress"),
+            ("result", "assemble the result table from the store"),
+            ("run", "execute a registered job's missing cells")):
+        command = sub.add_parser(name, parents=[common], help=help_text)
+        command.add_argument("job", help="job id from 'sweep submit'")
+        if name == "run":
+            command.add_argument("--workers", type=int, default=1)
+        if name == "result":
+            command.add_argument("--format",
+                                 choices=("text", "csv", "json"),
+                                 default="text")
+
+    sub.add_parser("jobs", parents=[common],
+                   help="list every registered job id")
+
+    store = sub.add_parser("store", help="store maintenance")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_sub.add_parser("stats", parents=[common],
+                         help="entry counts, bytes, staleness")
+    store_sub.add_parser("gc", parents=[common],
+                         help="drop entries from other code versions")
+    return parser
+
+
+def sweep_main(argv: list[str]) -> int:
+    from repro.harness.service import JobIncomplete, SweepJob
+    from repro.harness.store import DEFAULT_ROOT, ResultStore
+
+    args = build_sweep_parser().parse_args(argv)
+
+    def progress(done, total, cached=False):
+        tag = " (cached)" if cached else ""
+        print(f"  cell {done}/{total}{tag}", file=sys.stderr)
+
+    if args.command == "submit":
+        job = SweepJob.submit(_build_sweep(args), nodes=args.nodes,
+                              store=args.store)
+        status = job.status()
+        print(f"job {job.job_id}: {status['total']} cells at "
+              f"{job.nodes} nodes -> {status['store']}")
+        if not args.no_run:
+            result = job.run(workers=args.workers, progress=progress)
+            stats = result.cache_stats
+            print(f"executed {stats['executed']} cells, "
+                  f"{stats['hits']} hits")
+        print(f"state: {job.status()['state']}")
+        return 0
+
+    if args.command == "status":
+        status = SweepJob.load(args.job, store=args.store).status()
+        note = "" if status["current"] else \
+            f" (submitted under code version {status['digest']})"
+        print(f"job {status['job']}: {status['state']} — "
+              f"{status['done']}/{status['total']} cells in store"
+              f"{note}")
+        return 0
+
+    if args.command == "run":
+        job = SweepJob.load(args.job, store=args.store)
+        result = job.run(workers=args.workers, progress=progress)
+        stats = result.cache_stats
+        print(f"job {job.job_id}: executed {stats['executed']} cells, "
+              f"{stats['hits']} hits; state: {job.status()['state']}")
+        return 0
+
+    if args.command == "result":
+        job = SweepJob.load(args.job, store=args.store)
+        try:
+            result = job.result()
+        except JobIncomplete as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        if args.format == "csv":
+            print(result.to_csv(), end="")
+        elif args.format == "json":
+            print(result.to_json())
+        else:
+            print(result.to_text())
+        return 0
+
+    if args.command == "jobs":
+        for job_id in SweepJob.jobs(store=args.store):
+            status = SweepJob.load(job_id, store=args.store).status()
+            print(f"{job_id}  {status['state']:<8} "
+                  f"{status['done']}/{status['total']} cells")
+        return 0
+
+    assert args.command == "store"
+    store = (ResultStore.resolve(args.store if args.store is not None
+                                 else "auto")
+             or ResultStore(DEFAULT_ROOT))
+    if args.store_command == "stats":
+        stats = store.stats()
+        print(f"store {stats['root']} (code version {stats['digest']})")
+        print(f"  entries: {stats['entries']} "
+              f"({stats['stale']} stale, {stats['bytes']} bytes)")
+        print(f"  session: {stats['session_hits']} hits, "
+              f"{stats['session_misses']} misses, "
+              f"{stats['session_writes']} writes")
+    else:
+        swept = store.gc()
+        print(f"gc: removed {swept['removed']} stale entries, "
+              f"kept {swept['kept']}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -144,7 +329,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(_REGISTRY) + ["list", "all"],
-        help="which artifact to regenerate ('list' to enumerate)",
+        help="which artifact to regenerate ('list' to enumerate); "
+             "'repro sweep ...' enters the sweep-service CLI "
+             "(docs/sweeps.md)",
     )
     parser.add_argument("--nodes", type=int, default=8,
                         help="simulated processors (paper: 32; default 8)")
@@ -162,6 +349,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     args.app_list = tuple(

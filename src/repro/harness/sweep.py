@@ -24,15 +24,28 @@ Cells are independent simulations (each builds its own machine from its
 seed), so ``run(workers=N)`` farms them out to a process pool.  Results
 are merged back in deterministic cell order, so the output table is
 byte-identical to a serial run.
+
+Cells are also **pure functions** of their axes plus the code version,
+so ``run()`` consults the content-addressed result store
+(:mod:`repro.harness.store`) by default: cells whose rows are already
+cached for the current ``repro.__source_digest__`` are *hits* and are
+not executed; only misses run (serial or in the pool — pool workers
+write their rows through to the store themselves).  A warm run returns
+rows bit-identical to a cold run.  ``run(store=None)`` (or
+``REPRO_STORE=off`` in the environment) restores the always-execute
+behaviour; ``run(store=path_or_ResultStore)`` pins a specific store.
+See ``docs/sweeps.md``.
 """
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 from typing import Any
 
 from repro.harness.report import ExperimentResult
 from repro.harness.runner import run_application
+from repro.harness.store import ResultStore
 from repro.harness.workloads import workload
 from repro.sim.config import MachineConfig
 
@@ -99,6 +112,44 @@ def _run_cell(cell: tuple) -> dict[str, Any]:
             len(monitor.violations) if monitor is not None else 0
         )
     return row
+
+
+def _run_cell_store(task: tuple) -> dict[str, Any]:
+    """Pool-worker entry: run one miss and write it through to the store.
+
+    ``task`` is ``(cell, store_root, digest)`` — all picklable — so the
+    worker opens its own view of the store and persists the row itself
+    (atomic rename; see :meth:`ResultStore.put`).  The parent collects
+    the returned row for the result table without re-reading the disk.
+    """
+    cell, root, digest = task
+    row = _run_cell(cell)
+    ResultStore(root, digest=digest).put(cell, row)
+    return row
+
+
+def _progress_callback(progress):
+    """Adapt a user progress callback to the ``cached=`` flag.
+
+    Callbacks that accept a ``cached`` keyword (or ``**kwargs``) are
+    told whether each reported cell was a store hit; legacy two-argument
+    callbacks keep working unchanged.
+    """
+    if progress is None:
+        return lambda done, total, cached: None
+    try:
+        parameters = inspect.signature(progress).parameters.values()
+    except (TypeError, ValueError):
+        parameters = ()
+    takes_cached = any(
+        parameter.name == "cached"
+        or parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters
+    )
+    if takes_cached:
+        return lambda done, total, cached: progress(done, total,
+                                                    cached=cached)
+    return lambda done, total, cached: progress(done, total)
 
 
 class Sweep:
@@ -209,14 +260,26 @@ class Sweep:
             for system in self._systems
         ]
 
-    def run(self, nodes: int = 8,
-            progress=None, workers: int = 1) -> ExperimentResult:
+    def run(self, nodes: int = 8, progress=None, workers: int = 1,
+            store="auto") -> ExperimentResult:
         """Run every cell; ``progress(done, total)`` is called per cell.
 
         ``workers > 1`` runs cells in a process pool.  Each cell is a
         self-contained simulation, so parallel execution changes nothing
         but wall-clock time: rows are collected in canonical cell order
         and match a serial run exactly.
+
+        ``store`` selects the result store consulted before executing
+        anything: ``"auto"`` (default) resolves via ``REPRO_STORE`` to
+        ``.repro-store/``; ``None``/``"off"`` disables caching; a path
+        or :class:`~repro.harness.store.ResultStore` pins one.  Cached
+        cells are *hits* — returned without executing, bit-identical to
+        a cold run — and only misses execute (pool workers write their
+        rows through to the store).  ``progress`` fires for hits too,
+        with ``cached=True`` when the callback accepts the keyword, so
+        reporting stays monotone under warm stores.  The returned
+        result carries a ``cache_stats`` attribute:
+        ``{"hits", "executed", "cells", "store"}``.
         """
         columns = ["system", "application", "dataset", "cache", "seed",
                    "cycles", "refs", "remote_packets"]
@@ -230,16 +293,63 @@ class Sweep:
             columns,
         )
         cells = self.cell_list(nodes)
-        if workers > 1 and len(cells) > 1:
-            with multiprocessing.Pool(min(workers, len(cells))) as pool:
-                # imap (not imap_unordered): rows must land in cell order.
-                for done, row in enumerate(pool.imap(_run_cell, cells), 1):
-                    result.add_row(**row)
-                    if progress is not None:
-                        progress(done, self.cells)
+        resolved = ResultStore.resolve(store)
+        notify = _progress_callback(progress)
+        total = self.cells
+
+        if resolved is None:
+            rows: list[dict[str, Any] | None] = [None] * len(cells)
+            if workers > 1 and len(cells) > 1:
+                with multiprocessing.Pool(min(workers, len(cells))) as pool:
+                    # imap (not imap_unordered): rows must land in cell
+                    # order.
+                    for done, row in enumerate(pool.imap(_run_cell, cells),
+                                               1):
+                        rows[done - 1] = row
+                        notify(done, total, False)
+            else:
+                for done, cell in enumerate(cells, 1):
+                    rows[done - 1] = _run_cell(cell)
+                    notify(done, total, False)
+            hits = 0
         else:
-            for done, cell in enumerate(cells, 1):
-                result.add_row(**_run_cell(cell))
-                if progress is not None:
-                    progress(done, self.cells)
+            rows = [resolved.get(cell) for cell in cells]
+            miss_indices = [index for index, row in enumerate(rows)
+                            if row is None]
+            hits = len(cells) - len(miss_indices)
+            if workers > 1 and len(miss_indices) > 1:
+                # Hits are reported first (monotone, cached=True), then
+                # misses as the pool completes them; workers persist
+                # their own rows (write-through), the parent only
+                # collects them for the table.
+                done = 0
+                for index, row in enumerate(rows):
+                    if row is not None:
+                        done += 1
+                        notify(done, total, True)
+                tasks = [(cells[index], str(resolved.root), resolved.digest)
+                         for index in miss_indices]
+                with multiprocessing.Pool(min(workers, len(tasks))) as pool:
+                    for index, row in zip(miss_indices,
+                                          pool.imap(_run_cell_store, tasks)):
+                        rows[index] = row
+                        done += 1
+                        notify(done, total, False)
+            else:
+                for done, cell in enumerate(cells, 1):
+                    cached = rows[done - 1] is not None
+                    if not cached:
+                        row = _run_cell(cell)
+                        resolved.put(cell, row)
+                        rows[done - 1] = row
+                    notify(done, total, cached)
+
+        for row in rows:
+            result.add_row(**row)
+        result.cache_stats = {
+            "cells": len(cells),
+            "hits": hits,
+            "executed": len(cells) - hits,
+            "store": str(resolved.root) if resolved is not None else None,
+        }
         return result

@@ -67,3 +67,87 @@ def test_differential_subcommand(capsys):
     out = capsys.readouterr().out
     assert "typhoon:stache" in out
     assert "NO" not in out.split("fallback_reason")[-1]
+
+
+# ----------------------------------------------------------------------
+# The sweep-service CLI: python -m repro sweep ... (docs/sweeps.md)
+# ----------------------------------------------------------------------
+def _submit(store, *extra):
+    return ["sweep", "submit", "--systems", "dirnnb",
+            "--workloads", "ocean:small", "--cache-sizes", "1024",
+            "--seeds", "1,2", "--nodes", "2", "--store", str(store),
+            *extra]
+
+
+def _job_id(output):
+    assert output.startswith("job ")
+    return output.split()[1].rstrip(":")
+
+
+def test_sweep_submit_status_result_roundtrip(tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main(_submit(store)) == 0
+    out = capsys.readouterr().out
+    job = _job_id(out)
+    assert "executed 2 cells, 0 hits" in out
+    assert "state: complete" in out
+
+    assert main(["sweep", "status", job, "--store", str(store)]) == 0
+    assert "complete — 2/2 cells" in capsys.readouterr().out
+
+    assert main(["sweep", "result", job, "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "ocean" in out and "dirnnb" in out
+
+    assert main(["sweep", "result", job, "--store", str(store),
+                 "--format", "csv"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines[0].startswith("system,application")
+    assert len(lines) == 3
+
+
+def test_sweep_resubmit_is_all_hits(tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main(_submit(store)) == 0
+    capsys.readouterr()
+    assert main(_submit(store)) == 0
+    assert "executed 0 cells, 2 hits" in capsys.readouterr().out
+
+
+def test_sweep_no_run_defers_execution(tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main(_submit(store, "--no-run")) == 0
+    out = capsys.readouterr().out
+    job = _job_id(out)
+    assert "state: pending" in out
+
+    assert main(["sweep", "result", job, "--store", str(store)]) == 1
+    assert "not in store" in capsys.readouterr().err
+
+    assert main(["sweep", "run", job, "--store", str(store)]) == 0
+    assert "executed 2 cells" in capsys.readouterr().out
+    assert main(["sweep", "result", job, "--store", str(store)]) == 0
+    assert "ocean" in capsys.readouterr().out
+
+
+def test_sweep_jobs_and_store_maintenance(tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main(_submit(store)) == 0
+    job = _job_id(capsys.readouterr().out)
+
+    assert main(["sweep", "jobs", "--store", str(store)]) == 0
+    assert job in capsys.readouterr().out
+
+    assert main(["sweep", "store", "stats", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "entries: 2" in out and "0 stale" in out
+
+    assert main(["sweep", "store", "gc", "--store", str(store)]) == 0
+    assert "removed 0 stale entries, kept 2" in capsys.readouterr().out
+
+
+def test_sweep_cache_experiment_runs(capsys):
+    assert main(["sweep-cache", "--nodes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "cold" in out and "warm" in out
+    assert "rows_identical" in out

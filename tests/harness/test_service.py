@@ -1,0 +1,129 @@
+"""Tests for the SweepJob service layer (submit/status/run/result)."""
+
+import pytest
+
+from repro.harness.service import JobIncomplete, SweepJob
+from repro.harness.store import ResultStore
+from repro.harness.sweep import Sweep
+from repro.network.faults import FaultSpec
+
+
+def small_sweep():
+    return (
+        Sweep()
+        .systems("dirnnb", "typhoon-stache")
+        .workloads(("ocean", "small"))
+        .cache_sizes(2048)
+        .seeds(1, 2)
+    )
+
+
+def job_store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def test_submit_persists_a_loadable_spec(tmp_path):
+    store = job_store(tmp_path)
+    job = SweepJob.submit(small_sweep(), nodes=2, store=store)
+    loaded = SweepJob.load(job.job_id, store=store)
+    assert loaded.nodes == 2
+    assert loaded.sweep().cell_list(2) == small_sweep().cell_list(2)
+    assert SweepJob.jobs(store=store) == [job.job_id]
+
+
+def test_submit_is_idempotent_per_code_version(tmp_path):
+    store = job_store(tmp_path)
+    first = SweepJob.submit(small_sweep(), nodes=2, store=store)
+    again = SweepJob.submit(small_sweep(), nodes=2, store=store)
+    assert first.job_id == again.job_id
+    different = SweepJob.submit(small_sweep(), nodes=4, store=store)
+    assert different.job_id != first.job_id
+
+
+def test_status_progress_result_lifecycle(tmp_path):
+    store = job_store(tmp_path)
+    job = SweepJob.submit(small_sweep(), nodes=2, store=store)
+    assert job.status()["state"] == "pending"
+    assert job.progress() == (0, 4)
+    with pytest.raises(JobIncomplete):
+        job.result()
+
+    run = job.run()
+    assert run.cache_stats["executed"] == 4
+    assert job.status()["state"] == "complete"
+    assert job.progress() == (4, 4)
+
+    served = job.result()
+    assert served.cache_stats["executed"] == 0
+    assert served.rows == run.rows
+
+
+def test_partial_jobs_report_partial_and_resume(tmp_path):
+    """A job sharing cells with a finished smaller job starts partial."""
+    store = job_store(tmp_path)
+    half = SweepJob.submit(
+        Sweep().systems("dirnnb").workloads(("ocean", "small"))
+        .cache_sizes(2048).seeds(1, 2),
+        nodes=2, store=store)
+    half.run()
+    job = SweepJob.submit(small_sweep(), nodes=2, store=store)
+    assert job.status()["state"] == "partial"
+    assert job.progress() == (2, 4)
+    run = job.run()
+    assert run.cache_stats == {"cells": 4, "hits": 2, "executed": 2,
+                               "store": str(store.root)}
+    assert job.status()["state"] == "complete"
+
+
+def test_result_rows_match_a_storeless_run(tmp_path):
+    store = job_store(tmp_path)
+    job = SweepJob.submit(small_sweep(), nodes=2, store=store)
+    job.run()
+    assert job.result().rows == small_sweep().run(nodes=2,
+                                                  store=None).rows
+
+
+def test_fault_axis_round_trips_through_the_spec(tmp_path):
+    store = job_store(tmp_path)
+    sweep = (
+        Sweep().systems("typhoon-stache").workloads(("mp3d", "small"))
+        .cache_sizes(2048).seeds(7)
+        .faults(None, FaultSpec(name="drop5", drop_pct=0.05))
+    )
+    job = SweepJob.submit(sweep, nodes=4, store=store)
+    reconstructed = SweepJob.load(job.job_id, store=store).sweep()
+    assert reconstructed.cell_list(4) == sweep.cell_list(4)
+    cells = reconstructed.cell_list(4)
+    assert cells[1][-1] == FaultSpec(name="drop5", drop_pct=0.05)
+
+
+def test_conformance_axis_round_trips_through_the_spec(tmp_path):
+    store = job_store(tmp_path)
+    sweep = (
+        Sweep().systems("typhoon-stache").workloads(("ocean", "small"))
+        .cache_sizes(2048).seeds(7).conformance(False, True)
+    )
+    job = SweepJob.submit(sweep, nodes=2, store=store)
+    reconstructed = SweepJob.load(job.job_id, store=store).sweep()
+    assert reconstructed.cell_list(2) == sweep.cell_list(2)
+
+
+def test_source_change_resets_progress(tmp_path):
+    """Cells cached under another digest no longer count as done."""
+    store = job_store(tmp_path)
+    job = SweepJob.submit(small_sweep(), nodes=2, store=store)
+    job.run()
+    assert job.status()["state"] == "complete"
+
+    changed = ResultStore(store.root, digest="f" * 16)
+    stale = SweepJob.load(job.job_id, store=changed)
+    assert stale.progress() == (0, 4)
+    assert stale.status()["state"] == "pending"
+    assert stale.status()["current"] is False
+    with pytest.raises(JobIncomplete):
+        stale.result()
+
+
+def test_load_unknown_job_raises(tmp_path):
+    with pytest.raises(KeyError):
+        SweepJob.load("nope", store=job_store(tmp_path))

@@ -1,7 +1,8 @@
-"""Tests for the generic sweep utility."""
+"""Tests for the generic sweep utility and its result-store caching."""
 
 import pytest
 
+from repro.harness.store import ResultStore
 from repro.harness.sweep import Sweep
 
 
@@ -45,8 +46,9 @@ def test_rows_are_filterable_and_exportable():
 
 
 def test_same_seed_cells_reproduce():
-    a = small_sweep().run(nodes=2)
-    b = small_sweep().run(nodes=2)
+    # store=None: this pins *recomputation* determinism, not caching.
+    a = small_sweep().run(nodes=2, store=None)
+    b = small_sweep().run(nodes=2, store=None)
     assert a.column("cycles") == b.column("cycles")
 
 
@@ -69,8 +71,10 @@ def test_cell_list_matches_serial_row_order():
 
 
 def test_parallel_run_matches_serial_row_for_row():
-    serial = small_sweep().run(nodes=2)
-    parallel = small_sweep().run(nodes=2, workers=4)
+    # store=None keeps the pool actually executing cells (a shared
+    # store would make the second run pure cache hits).
+    serial = small_sweep().run(nodes=2, store=None)
+    parallel = small_sweep().run(nodes=2, workers=4, store=None)
     assert len(parallel.rows) == len(serial.rows)
     for left, right in zip(serial.rows, parallel.rows):
         assert left == right
@@ -118,11 +122,171 @@ def test_fault_axis_rows_report_retry_columns():
 
 
 def test_fault_axis_parallel_matches_serial():
-    serial = fault_sweep().run(nodes=4)
-    parallel = fault_sweep().run(nodes=4, workers=2)
+    serial = fault_sweep().run(nodes=4, store=None)
+    parallel = fault_sweep().run(nodes=4, workers=2, store=None)
     assert serial.rows == parallel.rows
 
 
 def test_faultless_sweep_keeps_six_tuple_cells():
     cells = small_sweep().cell_list(nodes=2)
     assert all(len(cell) == 6 for cell in cells)
+
+
+# ----------------------------------------------------------------------
+# The content-addressed result store (docs/sweeps.md)
+# ----------------------------------------------------------------------
+def tmp_store(tmp_path, digest=None):
+    return ResultStore(tmp_path / "store", digest=digest)
+
+
+def test_warm_run_executes_zero_cells_and_is_bit_identical(tmp_path):
+    store = tmp_store(tmp_path)
+    cold = small_sweep().run(nodes=2, store=store)
+    warm = small_sweep().run(nodes=2, store=store)
+    assert cold.cache_stats["executed"] == 4
+    assert cold.cache_stats["hits"] == 0
+    assert warm.cache_stats["executed"] == 0
+    assert warm.cache_stats["hits"] == 4
+    assert warm.rows == cold.rows
+    assert warm.to_csv() == cold.to_csv()
+    assert warm.to_text() == cold.to_text()
+
+
+def test_hit_miss_partitioning_executes_only_misses(tmp_path):
+    """Growing a sweep re-executes only the new cells."""
+    store = tmp_store(tmp_path)
+    subset = (Sweep().systems("dirnnb").workloads(("ocean", "small"))
+              .cache_sizes(2048).seeds(1, 2))
+    subset.run(nodes=2, store=store)
+    grown = small_sweep().run(nodes=2, store=store)
+    assert grown.cache_stats == {"cells": 4, "hits": 2, "executed": 2,
+                                 "store": str(store.root)}
+    assert grown.rows == small_sweep().run(nodes=2, store=None).rows
+
+
+def test_source_fingerprint_invalidates_cached_cells(tmp_path):
+    """The same store misses everything under a different code digest."""
+    before = tmp_store(tmp_path, digest="a" * 16)
+    cold = small_sweep().run(nodes=2, store=before)
+    assert small_sweep().run(nodes=2, store=before).cache_stats["hits"] == 4
+
+    after = ResultStore(before.root, digest="b" * 16)
+    recomputed = small_sweep().run(nodes=2, store=after)
+    assert recomputed.cache_stats["executed"] == 4
+    assert recomputed.rows == cold.rows
+
+
+def test_pool_workers_write_through_to_the_store(tmp_path):
+    """With workers>1 the *workers* persist rows; the parent only
+    collects them — so a follow-up serial run is pure hits."""
+    store = tmp_store(tmp_path)
+    parallel = small_sweep().run(nodes=2, workers=2, store=store)
+    assert parallel.cache_stats["executed"] == 4
+    assert store.writes == 0          # parent wrote nothing itself
+    warm = small_sweep().run(nodes=2, store=store)
+    assert warm.cache_stats == {"cells": 4, "hits": 4, "executed": 0,
+                                "store": str(store.root)}
+    assert warm.rows == parallel.rows
+
+
+def test_corrupted_store_entries_are_recomputed(tmp_path):
+    store = tmp_store(tmp_path)
+    cold = small_sweep().run(nodes=2, store=store)
+    # Truncate one entry and vapourise another: both become misses.
+    paths = sorted((store.root / "objects").glob("*/*.json"))
+    paths[0].write_text("{ truncated", encoding="utf-8")
+    paths[1].unlink()
+    repaired = small_sweep().run(nodes=2, store=store)
+    assert repaired.cache_stats["executed"] == 2
+    assert repaired.rows == cold.rows
+    assert small_sweep().run(nodes=2, store=store).cache_stats["hits"] == 4
+
+
+def test_progress_fires_for_hits_with_cached_flag(tmp_path):
+    store = tmp_store(tmp_path)
+    small_sweep().run(nodes=2, store=store)
+    seen = []
+    small_sweep().run(
+        nodes=2, store=store,
+        progress=lambda done, total, cached: seen.append(
+            (done, total, cached)))
+    assert seen == [(1, 4, True), (2, 4, True), (3, 4, True),
+                    (4, 4, True)]
+
+
+def test_progress_mixes_cached_and_executed_cells(tmp_path):
+    store = tmp_store(tmp_path)
+    (Sweep().systems("dirnnb").workloads(("ocean", "small"))
+     .cache_sizes(2048).seeds(1, 2)).run(nodes=2, store=store)
+    seen = []
+    small_sweep().run(
+        nodes=2, store=store,
+        progress=lambda done, total, cached: seen.append((done, cached)))
+    assert [done for done, _ in seen] == [1, 2, 3, 4]
+    assert sorted(cached for _, cached in seen) == [False, False,
+                                                    True, True]
+
+
+def test_legacy_two_argument_progress_still_works_warm(tmp_path):
+    store = tmp_store(tmp_path)
+    small_sweep().run(nodes=2, store=store)
+    seen = []
+    small_sweep().run(nodes=2, store=store,
+                      progress=lambda done, total: seen.append(
+                          (done, total)))
+    assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+
+def test_parallel_warm_progress_is_monotone(tmp_path):
+    store = tmp_store(tmp_path)
+    small_sweep().run(nodes=2, store=store)
+    seen = []
+    small_sweep().run(nodes=2, workers=2, store=store,
+                      progress=lambda done, total, cached: seen.append(
+                          (done, cached)))
+    assert [done for done, _ in seen] == [1, 2, 3, 4]
+    assert all(cached for _, cached in seen)
+
+
+def test_fault_axis_rows_cache_and_roundtrip(tmp_path):
+    store = tmp_store(tmp_path)
+    cold = fault_sweep().run(nodes=4, store=store)
+    warm = fault_sweep().run(nodes=4, store=store)
+    assert warm.cache_stats["executed"] == 0
+    assert warm.rows == cold.rows
+
+
+def test_store_off_string_disables_caching(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+    first = small_sweep().run(nodes=2, store="off")
+    assert first.cache_stats["store"] is None
+    assert not (tmp_path / "env-store").exists()
+
+
+def test_repro_store_env_selects_the_default_store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+    cold = small_sweep().run(nodes=2)
+    assert cold.cache_stats["store"] == str(tmp_path / "env-store")
+    warm = small_sweep().run(nodes=2)
+    assert warm.cache_stats["executed"] == 0
+    monkeypatch.setenv("REPRO_STORE", "off")
+    off = small_sweep().run(nodes=2)
+    assert off.cache_stats["store"] is None
+
+
+def test_warm_rows_bit_identical_across_all_systems(tmp_path):
+    """The acceptance regression: every composable backend:protocol
+    system round-trips through the store bit-identically."""
+    def matrix():
+        return (Sweep().all_systems().workloads(("ocean", "small"))
+                .cache_sizes(1024).seeds(7))
+
+    store = tmp_store(tmp_path)
+    cold = matrix().run(nodes=2, store=store)
+    warm = matrix().run(nodes=2, store=store)
+    assert cold.cache_stats["executed"] == cold.cache_stats["cells"]
+    assert warm.cache_stats["executed"] == 0
+    assert warm.rows == cold.rows
+    for left, right in zip(cold.rows, warm.rows):
+        for column, value in left.items():
+            assert type(right[column]) is type(value)

@@ -61,6 +61,31 @@ def test_doctest_state_carries_across_fences(tmp_path):
     assert check_docs.check_doctests(tmp_path) == []
 
 
+def test_index_checker_catches_orphaned_docs_pages(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "linked.md").write_text("content\n")
+    (docs / "orphan.md").write_text("content\n")
+    (tmp_path / "README.md").write_text(
+        "Index:\n\n* [linked](docs/linked.md)\n")
+    errors = check_docs.check_index(tmp_path)
+    assert len(errors) == 1
+    assert "orphan.md" in errors[0]
+
+
+def test_index_checker_passes_when_every_page_is_linked(tmp_path):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "a.md").write_text("content\n")
+    (tmp_path / "README.md").write_text("* [a](docs/a.md#anchor)\n")
+    assert check_docs.check_index(tmp_path) == []
+
+
+def test_repo_docs_index_is_complete():
+    """Every page in docs/ is reachable from the README index."""
+    assert check_docs.check_index() == []
+
+
 def test_symbol_checker_catches_stale_references(tmp_path):
     docs = tmp_path / "docs"
     docs.mkdir()

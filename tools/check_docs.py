@@ -14,6 +14,9 @@ Two passes, both run by CI's ``docs`` job and by
    ``docs/*.md`` and ``README.md`` must resolve to a real module or
    attribute under ``src/repro``, so renames cannot strand stale names
    in prose that the doctests never execute.
+4. **Index** — every ``docs/*.md`` page must be reachable from the
+   README's documentation index (linked from ``README.md``), so a new
+   page cannot land orphaned.
 
 Usage::
 
@@ -120,6 +123,34 @@ def check_symbols(root: Path = ROOT) -> list[str]:
     return errors
 
 
+def check_index(root: Path = ROOT) -> list[str]:
+    """Return one error per docs page not linked from README.md.
+
+    The README's documentation index is the entry point readers start
+    from; a ``docs/*.md`` file nothing in the README points at is
+    unreachable, however correct its own links are.
+    """
+    readme = root / "README.md"
+    docs = root / "docs"
+    if not readme.exists() or not docs.is_dir():
+        return []
+    text = readme.read_text(encoding="utf-8")
+    linked = set()
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        target = target.split("#", 1)[0]
+        if target:
+            linked.add((readme.parent / target).resolve())
+    return [
+        f"docs/{path.name}: not linked from the README documentation "
+        f"index"
+        for path in sorted(docs.glob("*.md"))
+        if path.resolve() not in linked
+    ]
+
+
 def check_doctests(root: Path = ROOT) -> list[str]:
     """Run every docs/*.md pycon block; return one error per failure.
 
@@ -154,15 +185,20 @@ def main(argv: list[str] | None = None) -> int:
                     help="run docs/*.md pycon doctests only")
     ap.add_argument("--symbols", action="store_true",
                     help="check `repro.…` symbol references only")
+    ap.add_argument("--index", action="store_true",
+                    help="check docs/*.md README-index reachability only")
     args = ap.parse_args(argv)
-    some_only = args.links or args.doctests or args.symbols
+    some_only = args.links or args.doctests or args.symbols or args.index
     run_links = args.links or not some_only
     run_doctests = args.doctests or not some_only
     run_symbols = args.symbols or not some_only
+    run_index = args.index or not some_only
 
     errors = []
     if run_links:
         errors += check_links()
+    if run_index:
+        errors += check_index()
     if run_doctests:
         errors += check_doctests()
     if run_symbols:
