@@ -315,8 +315,11 @@ def sweep_main(argv: list[str]) -> int:
               f"{stats['session_writes']} writes")
     else:
         swept = store.gc()
-        print(f"gc: removed {swept['removed']} stale entries, "
-              f"kept {swept['kept']}")
+        line = (f"gc: removed {swept['removed']} stale entries, "
+                f"kept {swept['kept']}")
+        if swept["skipped"]:
+            line += f", skipped {swept['skipped']} unremovable"
+        print(line)
     return 0
 
 
@@ -331,7 +334,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(_REGISTRY) + ["list", "all"],
         help="which artifact to regenerate ('list' to enumerate); "
              "'repro sweep ...' enters the sweep-service CLI "
-             "(docs/sweeps.md)",
+             "(docs/sweeps.md); 'repro litmus' regenerates the "
+             "synthesized litmus corpus (docs/protocols.md)",
     )
     parser.add_argument("--nodes", type=int, default=8,
                         help="simulated processors (paper: 32; default 8)")
@@ -353,6 +357,10 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "litmus":
+        from repro.harness.litmus import main as litmus_main
+
+        return litmus_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     args.app_list = tuple(

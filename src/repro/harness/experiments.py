@@ -875,8 +875,9 @@ def run_system_matrix(nodes: int = 2, cache_bytes: int = 1024,
     The portability claim as a regression gate: the same
     producer/consumer application (striped writes, barrier, neighbour
     reads) runs end-to-end on every composable system, with the online
-    conformance monitor enabled wherever the protocol has a spec.  CI
-    runs this on every push.
+    conformance monitor enabled everywhere — every registered protocol
+    has a spec (em3d-update's is step-indexed).  CI runs this on every
+    push.
     """
     from repro.apps.synthetic import ProducerConsumerApplication
     from repro.backends import all_systems, parse_system

@@ -8,8 +8,9 @@ each cell's result row under a key derived from exactly those inputs:
 * the cell tuple, canonically JSON-encoded (``FaultSpec`` values are
   frozen dataclasses and serialise field-by-field), and
 * the **code-version fingerprint** ``repro.__source_digest__`` — a hash
-  of every ``.py`` file under the package (:mod:`repro._fingerprint`),
-  so editing any source file turns every prior entry into a miss.
+  of every file under the package, sources and package data alike
+  (:mod:`repro._fingerprint`), so editing any packaged input turns
+  every prior entry into a miss.
 
 With the store in place, :meth:`repro.harness.sweep.Sweep.run`
 partitions its cells into hits and misses and executes **only the
@@ -218,36 +219,46 @@ class ResultStore:
         self.writes += 1
         return key
 
-    def invalidate(self, cell: tuple | None = None) -> int:
+    def invalidate(self, cell: tuple | None = None) -> dict[str, int]:
         """Drop one cell's entry, or every entry when ``cell`` is None.
 
-        Returns the number of entries removed.  Invalidation is always
-        safe — the next ``Sweep.run`` recomputes and re-fills.
+        Returns ``{"removed": n, "skipped": m}``: ``skipped`` counts
+        entries whose file exists but could not be unlinked (permission
+        denied, directory-turned-file, ...) — those are still live on
+        disk and must not be reported as gone.  A missing single-cell
+        entry counts as neither.  Invalidation is always safe — the next
+        ``Sweep.run`` recomputes and re-fills.
         """
+        removed = skipped = 0
         if cell is not None:
             path = self._object_path(self.key(cell))
             try:
                 path.unlink()
-                return 1
+                removed += 1
+            except FileNotFoundError:
+                pass
             except OSError:
-                return 0
-        removed = 0
+                skipped += 1
+            return {"removed": removed, "skipped": skipped}
         for path in self._object_files():
             try:
                 path.unlink()
                 removed += 1
             except OSError:
-                pass
-        return removed
+                skipped += 1
+        return {"removed": removed, "skipped": skipped}
 
     def gc(self) -> dict[str, int]:
         """Remove entries from other code versions (and unreadable ones).
 
-        Returns ``{"removed": n, "kept": m}``.  Current-digest entries
-        are never touched: the nightly full-matrix run gc's first, so
-        the archived store holds exactly one code version.
+        Returns ``{"removed": n, "kept": m, "skipped": s}`` — ``skipped``
+        counts stale entries whose unlink failed (they are *still on
+        disk*, so reporting them as removed would make ``repro sweep
+        store gc`` lie about the store's contents).  Current-digest
+        entries are never touched: the nightly full-matrix run gc's
+        first, so the archived store holds exactly one code version.
         """
-        removed = kept = 0
+        removed = kept = skipped = 0
         for path in self._object_files():
             try:
                 entry = json.loads(path.read_text(encoding="utf-8"))
@@ -260,10 +271,10 @@ class ResultStore:
                     path.unlink()
                     removed += 1
                 except OSError:
-                    pass
+                    skipped += 1
             else:
                 kept += 1
-        return {"removed": removed, "kept": kept}
+        return {"removed": removed, "kept": kept, "skipped": skipped}
 
     def stats(self) -> dict[str, Any]:
         """On-disk totals plus this session's hit/miss/write counters."""

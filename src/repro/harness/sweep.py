@@ -73,9 +73,10 @@ def _run_cell(cell: tuple) -> dict[str, Any]:
         system, app_name, dataset, cache_bytes, seed, nodes = cell
     checked = conformance
     if checked:
-        # A spec-less protocol (em3d-update) cannot be monitored; its
-        # cells run unchecked and say so in the conformance column, so
-        # an all_systems() x conformance(True) sweep completes.
+        # Every registered protocol now carries a spec, but an
+        # out-of-tree protocol without one still runs unchecked (and
+        # says so in the conformance column) rather than failing, so an
+        # all_systems() x conformance(True) sweep always completes.
         from repro.backends import parse_system
 
         backend, protocol = parse_system(system)
@@ -138,15 +139,23 @@ def _progress_callback(progress):
     if progress is None:
         return lambda done, total, cached: None
     try:
-        parameters = inspect.signature(progress).parameters.values()
+        parameters = list(inspect.signature(progress).parameters.values())
     except (TypeError, ValueError):
-        parameters = ()
-    takes_cached = any(
-        parameter.name == "cached"
-        or parameter.kind is inspect.Parameter.VAR_KEYWORD
-        for parameter in parameters
-    )
-    if takes_cached:
+        parameters = []
+    kinds = inspect.Parameter
+    for parameter in parameters:
+        if parameter.name == "cached":
+            if parameter.kind is kinds.POSITIONAL_ONLY:
+                # ``def cb(done, total, cached, /)``: the name exists
+                # but cannot be used as a keyword — calling with
+                # ``cached=`` raises TypeError, so pass positionally.
+                return lambda done, total, cached: progress(done, total,
+                                                            cached)
+            if parameter.kind in (kinds.POSITIONAL_OR_KEYWORD,
+                                  kinds.KEYWORD_ONLY):
+                return lambda done, total, cached: progress(
+                    done, total, cached=cached)
+    if any(p.kind is kinds.VAR_KEYWORD for p in parameters):
         return lambda done, total, cached: progress(done, total,
                                                     cached=cached)
     return lambda done, total, cached: progress(done, total)
@@ -213,9 +222,10 @@ class Sweep:
         True)`` runs each combination both ways (e.g. to confirm the
         monitor is timing-passive).  With this axis present, cells
         become 8-tuples and rows gain ``conformance``/``checks``/
-        ``violations`` columns.  Systems whose protocol has no spec
-        (``typhoon:em3d-update``) run unchecked with ``no spec`` in the
-        conformance column.
+        ``violations`` columns.  Every registered protocol has a spec
+        (em3d-update's is step-indexed), so every cell reports ``on``;
+        a hypothetical spec-less protocol would run unchecked with
+        ``no spec`` in the column.
         """
         self._conformance = list(flags) if flags else None
         return self

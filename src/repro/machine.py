@@ -155,7 +155,7 @@ class MachineBase:
                 f"no conformance spec for protocol "
                 f"{spec_name_for(self)!r} on {self.system_name!r}: add a "
                 f"transition table to repro.protocols.conformance.SPECS "
-                f"(em3d-update deliberately has none)"
+                f"(every registered protocol has one)"
             )
         monitor = ConformanceMonitor(
             self, spec, strict=strict, history=history

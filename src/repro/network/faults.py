@@ -232,6 +232,111 @@ class FaultPlan:
         return f"FaultPlan({self.spec.name!r}, {bound})"
 
 
+# ----------------------------------------------------------------------
+# Scripted (deterministic) fault schedules
+# ----------------------------------------------------------------------
+_SCRIPTED_ACTIONS = (None, "drop", "dup", "reorder")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One pinned link action: the ``occurrence``-th matching packet.
+
+    A rule matches a remote packet by handler name and (optionally)
+    source/destination node; the match counter is per rule, counted over
+    first-attempt sends only, so retransmissions neither consume nor
+    perturb the schedule.  ``action`` is one of the
+    :meth:`FaultPlan.link_verdict` verdicts (or None for a pure delay);
+    ``delay`` adds in-flight cycles on top.
+
+    Rules are plain frozen dataclasses so a scripted schedule serialises
+    field-by-field into a litmus-test file and reconstructs exactly
+    (:mod:`repro.harness.litmus`).
+    """
+
+    handler: str
+    src: int | None = None
+    dst: int | None = None
+    occurrence: int = 1
+    action: str | None = None
+    delay: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in _SCRIPTED_ACTIONS:
+            raise ValueError(
+                f"action {self.action!r} not in {_SCRIPTED_ACTIONS}"
+            )
+        if self.occurrence < 1:
+            raise ValueError("occurrence is 1-based; must be >= 1")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+        if self.action is None and self.delay == 0:
+            raise ValueError("rule with no action and no delay is inert")
+
+    def matches(self, message: Message) -> bool:
+        return (message.handler == self.handler
+                and (self.src is None or message.src == self.src)
+                and (self.dst is None or message.dst == self.dst))
+
+
+class ScriptedFaultPlan(FaultPlan):
+    """A fault plan that replays an explicit schedule — no randomness.
+
+    Where :class:`FaultPlan` rolls a die per packet, this plan consults
+    an ordered list of :class:`FaultRule` values: each remote packet
+    bumps the counter of every rule it matches, and a rule whose
+    counter reaches its ``occurrence`` fires (first firing rule's
+    action wins; delays accumulate).  The same machine, program, and
+    schedule therefore produce the same interleaving on every run —
+    which is what lets a synthesized litmus test pin an adversarial
+    message ordering (a grant overtaken by a later invalidation, say)
+    instead of waiting for a seed to find it.
+
+    Retransmissions (``message.attempt > 1``) are exempt from matching
+    entirely, so a dropped packet's retry is always delivered clean;
+    the base spec's ``retry_timeout`` is raised far beyond any scripted
+    delay so the reliable transport cannot undercut a pinned delay with
+    an early retransmit copy.
+    """
+
+    __slots__ = ("rules", "_counts")
+
+    #: Retransmit timeout for scripted runs: larger than any plausible
+    #: scripted delay, so the transport never races a pinned schedule.
+    RETRY_TIMEOUT = 2_000_000
+
+    def __init__(self, rules, spec: FaultSpec | None = None):
+        rules = tuple(rules)
+        if spec is None:
+            spec = FaultSpec(name="scripted",
+                             retry_timeout=self.RETRY_TIMEOUT)
+        super().__init__(spec)
+        self.rules = rules
+        self._counts = [0] * len(rules)
+
+    @property
+    def is_null(self) -> bool:
+        """A scripted plan with rules always installs (and deopts the
+        compiled kernel's fast paths), even though its base spec draws
+        no random faults."""
+        return not self.rules and self.spec.is_null
+
+    def link_verdict(self, message: Message) -> tuple[str | None, int]:
+        if message.attempt > 1:
+            return None, 0
+        action: str | None = None
+        extra = 0
+        for index, rule in enumerate(self.rules):
+            if not rule.matches(message):
+                continue
+            self._counts[index] += 1
+            if self._counts[index] == rule.occurrence:
+                if action is None:
+                    action = rule.action
+                extra += rule.delay
+        return action, extra
+
+
 #: The fault ladder ``repro.harness.experiments.run_reliability_ladder``
 #: climbs: reliable baseline, then increasingly lossy links.
 RELIABILITY_LADDER: tuple[FaultSpec, ...] = (

@@ -231,8 +231,9 @@ def compilable_spec(name: str | None) -> ProtocolSpec | None:
 
     A protocol is compilable exactly when its registry entry says so
     *and* a conformance spec exists to lower — the same tables drive
-    both the kernel and the checker, so a protocol without a spec
-    (em3d-update, deliberately) has nothing to compile from.
+    both the kernel and the checker.  em3d-update has a (step-indexed)
+    spec but is not compilable: its delayed-update handlers step
+    outside the transition table, so it always runs interpreted.
     """
     from repro.protocols.registry import PROTOCOLS
 

@@ -58,6 +58,7 @@ __all__ = [
     "STACHE_SPEC",
     "DIRNNB_SPEC",
     "IVY_SPEC",
+    "EM3D_UPDATE_SPEC",
     "SPECS",
     "spec_for",
 ]
@@ -139,6 +140,14 @@ class ProtocolSpec:
     #: this, so the causality check also covers requests that reach the
     #: controller without crossing the observed interconnect.
     requests_at_home: bool = False
+    #: Step-indexed bulk-update messages (em3d-update's fuzzy barrier).
+    #: These are *not* part of the request/grant causality graph; the
+    #: monitor instead checks that each sender flushes steps in
+    #: non-decreasing order per ``(src, dst, kind)`` channel and that
+    #: the receive side buffers (never applies) updates ahead of its
+    #: per-kind safety watermark — the single-writer-within-a-step
+    #: relaxation that the flush boundary restores.
+    update_handlers: frozenset = frozenset()
 
 
 STACHE_SPEC = ProtocolSpec(
@@ -178,14 +187,38 @@ IVY_SPEC = ProtocolSpec(
     writeback_reply_handlers=frozenset({"ivy.page_sent"}),
 )
 
+#: The EM3D update protocol relaxes single-writer semantics *within* a
+#: compute step only: remote copies drift while updates for the current
+#: step are in flight, and the fuzzy flush boundary restores agreement.
+#: Its spec therefore keeps Stache's structural relations (the inherited
+#: paths are plain Stache), adds the custom fetch handlers to the
+#: request/grant causality sets, and declares ``em3d.update`` as a
+#: step-indexed update stream checked by the watermark rules above
+#: rather than by request/grant causality.
+EM3D_UPDATE_SPEC = ProtocolSpec(
+    name="em3d-update",
+    directory_transitions=DIRECTORY_TRANSITIONS,
+    tag_transitions=TAG_TRANSITIONS,
+    request_handlers=frozenset({"stache.get_ro", "stache.get_rw",
+                                "em3d.get"}),
+    grant_handlers=frozenset({"stache.data", "em3d.data"}),
+    inval_handlers=frozenset({"stache.inval"}),
+    ack_handlers=frozenset({"stache.ack"}),
+    writeback_request_handlers=frozenset({"stache.writeback"}),
+    writeback_reply_handlers=frozenset({"stache.wb_data"}),
+    update_handlers=frozenset({"em3d.update"}),
+)
+
 #: Protocol name (the class's ``name`` attribute / DirNNB's system name)
-#: -> spec.  The EM3D update protocol deliberately violates
-#: single-writer semantics, so it has no specification on purpose.
+#: -> spec.  Every registered protocol now has one; em3d-update's is
+#: step-indexed (single-writer relaxed within a step, restored at flush
+#: boundaries) rather than absent.
 SPECS = {
     "stache": STACHE_SPEC,
     "stache-migratory": STACHE_SPEC,
     "ivy": IVY_SPEC,
     "dirnnb": DIRNNB_SPEC,
+    "em3d-update": EM3D_UPDATE_SPEC,
 }
 
 
@@ -306,6 +339,18 @@ class ConformanceMonitor:
             protocol._pages
             if spec is IVY_SPEC and protocol is not None else None
         )
+        # Step-indexed update protocols (em3d-update) keep per-node
+        # receive-side state on the protocol.  Held as the protocol
+        # object (not the list) because ``install`` rebuilds the list.
+        self._update_protocol = (
+            protocol if spec.update_handlers and protocol is not None
+            else None
+        )
+        # Highest update step sent per (src, dst, kind) channel, and the
+        # highest safety watermark seen per (node, kind): both may only
+        # advance.
+        self._update_sent: dict[tuple[int, int, str], int] = {}
+        self._update_safe: dict[tuple[int, str], int] = {}
 
     # ------------------------------------------------------------------
     def attach(self) -> "ConformanceMonitor":
@@ -418,6 +463,25 @@ class ConformanceMonitor:
             elif handler in spec.writeback_request_handlers:
                 key = (message.src, addr)
                 self._expected_wb[key] = self._expected_wb.get(key, 0) + 1
+            elif handler in spec.update_handlers:
+                # Step-indexed updates: each sender flushes steps in
+                # order, so the step sequence on one (src, dst, kind)
+                # channel may never regress at the send side (sends are
+                # unaffected by network faults, unlike deliveries).
+                self.checks += 1
+                kind = message.payload.get("kind")
+                step = message.payload.get("step", 0)
+                channel = (message.src, message.dst, kind)
+                last = self._update_sent.get(channel)
+                if last is not None and step < last:
+                    self._violation(
+                        f"update step regressed on channel node"
+                        f"{message.src} -> node{message.dst} "
+                        f"kind={kind!r}: step {step} after step {last}",
+                        addr,
+                    )
+                else:
+                    self._update_sent[channel] = step
         elif kind == "deliver":
             # Duplicate deliveries (fault injection) count once.
             if message.msg_id in self._delivered_ids:
@@ -484,6 +548,10 @@ class ConformanceMonitor:
             state = self._ivy_pages.get((node_id, addr))
             if state is not None:
                 self._check_ivy_page(node_id, addr, state)
+        if self._update_protocol is not None:
+            states = getattr(self._update_protocol, "_states", None)
+            if states and 0 <= node_id < len(states):
+                self._check_update_state(node_id, states[node_id])
 
     def _check_entry(self, home: int, block: int, entry) -> None:
         self.checks += 1
@@ -535,6 +603,42 @@ class ConformanceMonitor:
                 f"{state.acks_outstanding} acknowledgments outstanding",
                 page_addr,
             )
+
+    def _check_update_state(self, node: int, state) -> None:
+        """Step-indexed update invariants (em3d-update's fuzzy barrier).
+
+        Within a compute step remote copies may legitimately disagree
+        with the home — that is the protocol's documented relaxation —
+        but three structural facts must still hold at every handler
+        boundary: a parked computation and its wait key agree, nothing
+        for an already-safe step sits buffered (an applied-late update
+        would be a lost write), and the per-kind safety watermark only
+        advances (a regression would re-admit a completed step).
+        """
+        self.checks += 1
+        if (state.waiter is None) != (state.wait_key is None):
+            self._violation(
+                f"node {node}: barrier waiter ({state.waiter!r}) "
+                f"disagrees with wait key ({state.wait_key!r})"
+            )
+        for (kind, step), payloads in state.deferred.items():
+            if payloads and step <= state.safe_step[kind]:
+                self._violation(
+                    f"node {node}: update for kind={kind!r} step {step} "
+                    f"still buffered though the watermark is "
+                    f"{state.safe_step[kind]} (it should have been "
+                    f"applied at the flush boundary)"
+                )
+        for kind, safe in state.safe_step.items():
+            key = (node, kind)
+            last = self._update_safe.get(key)
+            if last is not None and safe < last:
+                self._violation(
+                    f"node {node}: safety watermark for kind={kind!r} "
+                    f"regressed from {last} to {safe}"
+                )
+            if last is None or safe > last:
+                self._update_safe[key] = safe
 
     # ------------------------------------------------------------------
     def _violation(self, summary: str, block: int | None = None) -> None:

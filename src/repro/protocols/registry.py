@@ -64,8 +64,9 @@ class ProtocolEntry:
     description: str
     #: Backend capabilities this protocol needs (see module docstring).
     requires: frozenset
-    #: Key into :data:`repro.protocols.conformance.SPECS`, or None when
-    #: the protocol deliberately has no specification.
+    #: Key into :data:`repro.protocols.conformance.SPECS`.  Every
+    #: registered protocol carries one (em3d-update's is step-indexed);
+    #: None remains legal for out-of-tree protocols without a table.
     conformance: str | None
     #: True when the protocol's dispatch can be lowered into the
     #: table-driven compiled kernel (:mod:`repro.protocols.compiled`):
@@ -146,8 +147,10 @@ PROTOCOLS: dict[str, ProtocolEntry] = {
             requires=frozenset({
                 "fine-grain-tags", "active-messages", "decoupled-handlers",
             }),
-            # Deliberately inconsistent within a step: no spec.
-            conformance=None,
+            # Step-indexed spec: single-writer is relaxed *within* a
+            # step only; the flush boundary restores it, and the
+            # monitor checks the watermark/flush-order invariants.
+            conformance="em3d-update",
         ),
     )
 }

@@ -105,17 +105,18 @@ def test_invalidate_single_cell(tmp_path):
     other = ("dirnnb", "ocean", "small", 1024, 8, 2)
     s.put(CELL, ROW)
     s.put(other, dict(ROW, seed=8))
-    assert s.invalidate(CELL) == 1
+    assert s.invalidate(CELL) == {"removed": 1, "skipped": 0}
     assert s.get(CELL) is None
     assert s.get(other) is not None
-    assert s.invalidate(CELL) == 0     # already gone
+    # Already gone: neither removed nor skipped.
+    assert s.invalidate(CELL) == {"removed": 0, "skipped": 0}
 
 
 def test_invalidate_everything(tmp_path):
     s = store(tmp_path)
     s.put(CELL, ROW)
     s.put(("dirnnb", "ocean", "small", 1024, 8, 2), dict(ROW, seed=8))
-    assert s.invalidate() == 2
+    assert s.invalidate() == {"removed": 2, "skipped": 0}
     assert s.stats()["entries"] == 0
 
 
@@ -125,7 +126,7 @@ def test_gc_drops_foreign_digests_keeps_current(tmp_path):
     current = store(tmp_path, digest="new1")
     current.put(CELL, ROW)
     swept = current.gc()
-    assert swept == {"removed": 2, "kept": 1}
+    assert swept == {"removed": 2, "kept": 1, "skipped": 0}
     assert current.get(CELL) == ROW
 
 
@@ -134,7 +135,40 @@ def test_gc_drops_unreadable_entries(tmp_path):
     key = s.put(CELL, ROW)
     garbage = s._object_path(key).with_name("deadbeef.json")
     garbage.write_text("not json at all", encoding="utf-8")
-    assert s.gc() == {"removed": 1, "kept": 1}
+    assert s.gc() == {"removed": 1, "kept": 1, "skipped": 0}
+
+
+def test_gc_reports_unremovable_entries_as_skipped(tmp_path, monkeypatch):
+    """A stale entry whose unlink fails is *still on disk*: gc must say
+    so (``skipped``) rather than silently dropping it from every count
+    — the latent bug where both counters missed it."""
+    stale_store = store(tmp_path, digest="old1")
+    stale_key = stale_store.put(CELL, ROW)
+    s = store(tmp_path, digest="new1")
+    s.put(CELL, ROW)
+    locked = s._object_path(stale_key)
+    real_unlink = type(locked).unlink
+
+    def unlink(self, *args, **kwargs):
+        if self == locked:
+            raise PermissionError(f"unremovable: {self}")
+        return real_unlink(self, *args, **kwargs)
+
+    monkeypatch.setattr(type(locked), "unlink", unlink)
+    assert s.gc() == {"removed": 0, "kept": 1, "skipped": 1}
+    assert locked.exists()
+
+
+def test_invalidate_reports_unremovable_entries_as_skipped(
+        tmp_path, monkeypatch):
+    s = store(tmp_path)
+    key = s.put(CELL, ROW)
+    locked = s._object_path(key)
+    monkeypatch.setattr(
+        type(locked), "unlink",
+        lambda self, *a, **k: (_ for _ in ()).throw(PermissionError(str(self))))
+    assert s.invalidate() == {"removed": 0, "skipped": 1}
+    assert s.invalidate(CELL) == {"removed": 0, "skipped": 1}
 
 
 def test_stats_reports_totals_and_staleness(tmp_path):
@@ -184,18 +218,50 @@ def test_constructor_refuses_disabled_environment(monkeypatch, tmp_path):
         tmp_path / "forced"
 
 
-def test_source_digest_changes_with_sources(tmp_path):
-    """The fingerprint covers file contents and relative paths."""
+def _digest_of_tree(tmp_path, monkeypatch):
+    """Point the fingerprint module at a scratch package tree."""
     from repro import _fingerprint
 
+    monkeypatch.setattr(_fingerprint, "__file__",
+                        str(tmp_path / "pkg" / "__init__.py"))
+    digest = _fingerprint.source_digest(refresh=True)
+    monkeypatch.undo()
+    _fingerprint.source_digest(refresh=True)
+    return digest
+
+
+def test_source_digest_changes_with_sources(tmp_path, monkeypatch):
+    """The fingerprint covers file contents and relative paths."""
     (tmp_path / "pkg").mkdir()
-    try:
-        digests = []
-        for content in ("x = 1\n", "x = 2\n"):
-            (tmp_path / "pkg" / "a.py").write_text(content)
-            _fingerprint.__file__ = str(tmp_path / "pkg" / "__init__.py")
-            digests.append(_fingerprint.source_digest(refresh=True))
-        assert digests[0] != digests[1]
-    finally:
-        _fingerprint.__file__ = _fingerprint.__spec__.origin
-        _fingerprint.source_digest(refresh=True)
+    digests = []
+    for content in ("x = 1\n", "x = 2\n"):
+        (tmp_path / "pkg" / "a.py").write_text(content)
+        digests.append(_digest_of_tree(tmp_path, monkeypatch))
+    assert digests[0] != digests[1]
+
+
+def test_source_digest_covers_package_data(tmp_path, monkeypatch):
+    """Regression: the digest used to hash only ``*.py``, so editing a
+    packaged non-Python input (a shipped table, a calibration file)
+    never invalidated cached sweep rows."""
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "table.json").write_text('{"rows": 1}\n')
+    before = _digest_of_tree(tmp_path, monkeypatch)
+    (tmp_path / "pkg" / "table.json").write_text('{"rows": 2}\n')
+    assert _digest_of_tree(tmp_path, monkeypatch) != before
+    (tmp_path / "pkg" / "table.json").unlink()
+    assert _digest_of_tree(tmp_path, monkeypatch) != before
+
+
+def test_source_digest_ignores_interpreter_byproducts(tmp_path, monkeypatch):
+    """``__pycache__`` and ``.pyc`` vary per interpreter with no
+    semantic change; they must not perturb the fingerprint."""
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    before = _digest_of_tree(tmp_path, monkeypatch)
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "a.cpython-311.pyc").write_bytes(
+        b"\x00bytecode")
+    (tmp_path / "pkg" / "a.pyc").write_bytes(b"\x00stale")
+    assert _digest_of_tree(tmp_path, monkeypatch) == before

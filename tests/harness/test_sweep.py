@@ -227,6 +227,43 @@ def test_progress_mixes_cached_and_executed_cells(tmp_path):
                                                     True, True]
 
 
+def test_positional_only_cached_progress_is_called_positionally(tmp_path):
+    """Regression: a callback whose third parameter is *named* ``cached``
+    but declared positional-only used to be called with ``cached=`` as a
+    keyword, which is a TypeError.  ``Parameter.kind`` decides now."""
+    store = tmp_store(tmp_path)
+    small_sweep().run(nodes=2, store=store)
+    seen = []
+
+    def progress(done, total, cached, /):
+        seen.append((done, total, cached))
+
+    small_sweep().run(nodes=2, store=store, progress=progress)
+    assert seen == [(1, 4, True), (2, 4, True), (3, 4, True), (4, 4, True)]
+
+
+def test_keyword_only_cached_progress_still_gets_the_flag(tmp_path):
+    store = tmp_store(tmp_path)
+    small_sweep().run(nodes=2, store=store)
+    seen = []
+
+    def progress(done, total, *, cached):
+        seen.append(cached)
+
+    small_sweep().run(nodes=2, store=store, progress=progress)
+    assert seen == [True, True, True, True]
+
+
+def test_var_keyword_progress_still_gets_the_flag(tmp_path):
+    store = tmp_store(tmp_path)
+    small_sweep().run(nodes=2, store=store)
+    seen = []
+    small_sweep().run(
+        nodes=2, store=store,
+        progress=lambda done, total, **kw: seen.append(kw["cached"]))
+    assert seen == [True, True, True, True]
+
+
 def test_legacy_two_argument_progress_still_works_warm(tmp_path):
     store = tmp_store(tmp_path)
     small_sweep().run(nodes=2, store=store)

@@ -230,7 +230,8 @@ def test_enable_conformance_is_idempotent_and_needs_a_spec():
 
 
 def test_spec_registry_shapes():
-    assert set(SPECS) == {"stache", "stache-migratory", "ivy", "dirnnb"}
+    assert set(SPECS) == {"stache", "stache-migratory", "ivy", "dirnnb",
+                          "em3d-update"}
     # Transient states may never be entered from HOME directly, and BUSY
     # may never silently become INVALID.
     assert (DirectoryState.HOME,

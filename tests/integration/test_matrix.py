@@ -179,23 +179,20 @@ def test_sweep_all_systems_axis_covers_the_matrix():
     assert {cell[0] for cell in cells} == set(all_systems())
 
 
-def test_sweep_matrix_under_conformance_skips_specless_systems():
-    """``all_systems() x conformance(True)`` completes: the one
-    spec-less protocol (em3d-update) runs unchecked and its row says
-    so, instead of the sweep crashing mid-matrix."""
+def test_sweep_matrix_under_conformance_checks_every_system():
+    """``all_systems() x conformance(True)`` checks *every* cell: since
+    the step-indexed em3d-update spec landed, no registered system runs
+    unchecked — every row reports ``on`` with live checks."""
     result = (Sweep().all_systems()
               .workloads(("ocean", "small")).cache_sizes(1024).seeds(5)
               .conformance(True)
               .run(nodes=2))
     by_system = {row["system"]: row for row in result.rows}
     assert set(by_system) == set(all_systems())
-    assert by_system["typhoon:em3d-update"]["conformance"] == "no spec"
-    assert by_system["typhoon:em3d-update"]["checks"] == 0
     for system, row in by_system.items():
-        if system != "typhoon:em3d-update":
-            assert row["conformance"] == "on"
-            assert row["checks"] > 0
-        assert row["violations"] == 0
+        assert row["conformance"] == "on", system
+        assert row["checks"] > 0, system
+        assert row["violations"] == 0, system
 
 
 def test_cli_systems_command_lists_the_matrix(capsys):
@@ -208,6 +205,18 @@ def test_cli_systems_command_lists_the_matrix(capsys):
     assert "decoupled handlers" in out  # the rejection note
 
 
+def test_system_matrix_reports_conformance_on_for_every_cell():
+    """Since the em3d-update spec landed, ``repro matrix`` has no
+    unchecked cell left: every row runs under the monitor."""
+    from repro.harness.experiments import run_system_matrix
+
+    result = run_system_matrix(nodes=2)
+    assert {row["system"] for row in result.rows} == set(all_systems())
+    for row in result.rows:
+        assert row["conformance"] == "on", row["system"]
+        assert row["checks"] > 0, row["system"]
+
+
 def test_cli_matrix_command_runs_every_system(capsys):
     from repro.cli import main
 
@@ -215,7 +224,7 @@ def test_cli_matrix_command_runs_every_system(capsys):
     out = capsys.readouterr().out
     for system in all_systems():
         assert system in out
-    assert "no spec" in out  # em3d-update row ran without conformance
+    assert "no spec" not in out  # every row runs under conformance now
     assert "violation" not in out.lower()
 
 

@@ -320,3 +320,90 @@ def test_delivery_guard_wrap_ignores_non_message_arguments():
     wrapped(None, fault)
     wrapped(None, fault)
     assert calls == [fault, fault]  # no suppression without an xid
+
+
+# ----------------------------------------------------------------------
+# Scripted (deterministic) schedules: FaultRule / ScriptedFaultPlan
+# ----------------------------------------------------------------------
+def _packet(handler="stache.data", src=0, dst=1, attempt=1):
+    return Message(src=src, dst=dst, handler=handler,
+                   vnet=VirtualNetwork.RESPONSE, attempt=attempt)
+
+
+def test_fault_rule_validation():
+    from repro.network.faults import FaultRule
+
+    with pytest.raises(ValueError, match="not in"):
+        FaultRule(handler="stache.data", action="explode")
+    with pytest.raises(ValueError, match="1-based"):
+        FaultRule(handler="stache.data", occurrence=0, delay=5)
+    with pytest.raises(ValueError, match="non-negative"):
+        FaultRule(handler="stache.data", delay=-1)
+    with pytest.raises(ValueError, match="inert"):
+        FaultRule(handler="stache.data")  # no action, no delay
+
+
+def test_fault_rule_matching_is_by_handler_and_endpoints():
+    from repro.network.faults import FaultRule
+
+    rule = FaultRule(handler="stache.data", src=0, dst=1, delay=10)
+    assert rule.matches(_packet())
+    assert not rule.matches(_packet(handler="stache.inval"))
+    assert not rule.matches(_packet(src=2))
+    assert not rule.matches(_packet(dst=2))
+    wildcard = FaultRule(handler="stache.data", delay=10)
+    assert wildcard.matches(_packet(src=2, dst=0))
+
+
+def test_scripted_plan_fires_on_the_nth_occurrence_only():
+    from repro.network.faults import FaultRule, ScriptedFaultPlan
+
+    plan = ScriptedFaultPlan([
+        FaultRule(handler="stache.data", src=0, dst=1,
+                  occurrence=2, delay=500),
+    ])
+    assert plan.link_verdict(_packet()) == (None, 0)   # first: untouched
+    assert plan.link_verdict(_packet()) == (None, 500)  # second: delayed
+    assert plan.link_verdict(_packet()) == (None, 0)   # third: untouched
+
+
+def test_scripted_plan_first_action_wins_and_delays_accumulate():
+    from repro.network.faults import FaultRule, ScriptedFaultPlan
+
+    plan = ScriptedFaultPlan([
+        FaultRule(handler="stache.data", action="reorder", delay=100),
+        FaultRule(handler="stache.data", dst=1, delay=40),
+    ])
+    assert plan.link_verdict(_packet()) == ("reorder", 140)
+
+
+def test_scripted_plan_exempts_retransmissions():
+    from repro.network.faults import FaultRule, ScriptedFaultPlan
+
+    plan = ScriptedFaultPlan([
+        FaultRule(handler="stache.data", occurrence=1, delay=500),
+    ])
+    # A retry neither fires nor consumes the occurrence counter.
+    assert plan.link_verdict(_packet(attempt=2)) == (None, 0)
+    assert plan.link_verdict(_packet()) == (None, 500)
+
+
+def test_scripted_plan_installs_without_randomness():
+    """A scripted plan is live (is_null False) even though its base
+    spec rolls no dice, installs on a real machine, and raises the
+    retransmit timeout so the transport cannot undercut a pinned
+    delay with an early retry copy."""
+    from repro.network.faults import FaultRule, ScriptedFaultPlan
+
+    rules = [FaultRule(handler="stache.data", delay=500)]
+    plan = ScriptedFaultPlan(rules)
+    assert not plan.is_null
+    assert ScriptedFaultPlan([]).is_null
+    assert plan.spec.retry_timeout == ScriptedFaultPlan.RETRY_TIMEOUT
+    machine = TyphoonMachine(MachineConfig(nodes=2, seed=1))
+    from repro.protocols.stache import StacheProtocol
+
+    StacheProtocol().install(machine)
+    bound = machine.install_fault_plan(plan)
+    assert bound is plan
+    assert machine.transport is not None

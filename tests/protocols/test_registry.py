@@ -129,8 +129,8 @@ def test_compose_builds_every_registered_system():
             assert isinstance(machine, TempestPort)
             expected = PROTOCOLS[system.split(":")[1]].conformance
             if expected is None:
-                # em3d-update deliberately has no spec; its installed
-                # name is still reported (and maps to no SPECS entry).
+                # No registered protocol is spec-less any more, but an
+                # out-of-tree one would still report its installed name.
                 assert spec_name_for(machine) == protocol.name
             else:
                 assert spec_name_for(machine) == expected
