@@ -1,0 +1,38 @@
+"""Three cost points, one protocol, one access trace.
+
+The per-backend cost-domain story as an asserted benchmark: on a
+lock-step workload (every phase barrier-serialised, so all three
+Tempest backends replay the same access trace) the protocol traffic is
+*identical* across backends while execution time separates into three
+distinct points ordered by handler-dispatch overhead — Typhoon's
+hardware capture (0 cycles/dispatch), the decoupled backend's
+second-CPU polling loop, and Blizzard's inline dispatch on the
+computation CPU.
+"""
+
+from repro.harness import experiments
+
+
+def test_cost_points(once):
+    result = once(experiments.run_cost_points)
+    print()
+    print(result.to_text())
+    typhoon, decoupled, blizzard = result.rows
+    assert typhoon["system"] == "typhoon:stache"
+    assert decoupled["system"] == "decoupled:stache"
+    assert blizzard["system"] == "blizzard:stache"
+    # Identical protocol decisions: the message economy is a property of
+    # the protocol, not of the substrate executing it.
+    assert (typhoon["remote_packets"] == decoupled["remote_packets"]
+            == blizzard["remote_packets"] > 0)
+    assert (typhoon["network_words"] == decoupled["network_words"]
+            == blizzard["network_words"] > 0)
+    # Three distinct cost points, ordered by handler-dispatch overhead.
+    assert (typhoon["dispatch_per_handler"]
+            < decoupled["dispatch_per_handler"]
+            < blizzard["dispatch_per_handler"])
+    assert typhoon["cycles"] < decoupled["cycles"] < blizzard["cycles"]
+    # Offloaded backends account handler time on the handler processor;
+    # Blizzard's is folded into the compute timeline.
+    assert decoupled["handler_cycles"] > typhoon["handler_cycles"] > 0
+    assert blizzard["handler_cycles"] == 0

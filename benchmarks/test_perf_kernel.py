@@ -49,6 +49,8 @@ KERNEL_WORKLOADS = [
      ("interpreted",)),  # hardware protocol: nothing to compile
     ("ocean-blizzard", "blizzard-stache", "ocean", "small", 2048,
      ("interpreted", "compiled")),
+    ("ocean-decoupled", "decoupled-stache", "ocean", "small", 2048,
+     ("interpreted",)),  # handler processor not specialised: no compile
 ]
 
 #: Batched-vs-scalar access-lane rows:

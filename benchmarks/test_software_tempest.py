@@ -1,14 +1,17 @@
 """Software vs. hardware Tempest: the portability claim and the NP's value.
 
 Section 2 of the paper says the Tempest interface abstracts the
-implementation: it can be realized by Typhoon's custom NP *or* entirely
-in software on a commodity message-passing machine (the CM-5-native
-direction that became Blizzard).  This bench runs the byte-identical
-Stache library on both backends and asserts:
+implementation: it can be realized by Typhoon's custom NP *or* in
+software on a commodity message-passing machine — with a dedicated
+second CPU running the handlers (the decoupled backend) or entirely on
+the computation CPU (the CM-5-native direction that became Blizzard).
+This bench runs the byte-identical Stache library on all three backends
+and asserts:
 
-* the software backend is functionally complete (the runs finish and the
-  applications' answers are checked by the unit suite), and
-* Typhoon is faster — but by a bounded factor, supporting the paper's
+* the software backends are functionally complete (the runs finish and
+  the applications' answers are checked by the unit suite), and
+* Typhoon is fastest and the fully-inline backend slowest — but both
+  software points stay within a bounded factor, supporting the paper's
   position that the interface is portable while the hardware is a
   worthwhile (not indispensable) accelerator.
 """
@@ -22,8 +25,9 @@ def test_software_tempest(once):
     print()
     print(result.to_text())
     for row in result.rows:
-        # The NP always helps...
-        assert row["slowdown"] > 1.0
+        # Hardware dispatch always helps, and a dedicated handler CPU
+        # always beats sharing the compute CPU...
+        assert 1.0 < row["decoupled_slowdown"] < row["blizzard_slowdown"]
         # ...but software Tempest stays within a small constant factor:
         # the interface is implementable without custom hardware.
-        assert row["slowdown"] < 3.0
+        assert row["blizzard_slowdown"] < 3.0

@@ -72,6 +72,12 @@ def _typhoon(config: MachineConfig):
     return TyphoonMachine(config)
 
 
+def _decoupled(config: MachineConfig):
+    from repro.decoupled.system import DecoupledMachine
+
+    return DecoupledMachine(config)
+
+
 def _blizzard(config: MachineConfig):
     from repro.blizzard.system import BlizzardMachine
 
@@ -107,6 +113,17 @@ BACKENDS: dict[str, BackendEntry] = {
             factory=_typhoon,
         ),
         BackendEntry(
+            name="decoupled",
+            description="software Tempest on dual-processor nodes: "
+                        "inserted checks on the compute CPU, handlers "
+                        "on a second CPU's polling dispatch loop",
+            provides=frozenset({
+                "fine-grain-tags", "active-messages", "bulk-transfer",
+                "decoupled-handlers",
+            }),
+            factory=_decoupled,
+        ),
+        BackendEntry(
             name="blizzard",
             description="all-software Tempest: inserted checks and "
                         "polling; handlers share the CPU",
@@ -127,6 +144,10 @@ ALIASES: dict[str, str] = {
     "typhoon-update": "typhoon:em3d-update",
     "typhoon-migratory": "typhoon:migratory",
     "typhoon-ivy": "typhoon:ivy",
+    "decoupled-stache": "decoupled:stache",
+    "decoupled-update": "decoupled:em3d-update",
+    "decoupled-migratory": "decoupled:migratory",
+    "decoupled-ivy": "decoupled:ivy",
     "blizzard-stache": "blizzard:stache",
     "blizzard-migratory": "blizzard:migratory",
     "blizzard-ivy": "blizzard:ivy",

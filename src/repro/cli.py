@@ -105,8 +105,16 @@ _REGISTRY = {
         ],
     ),
     "systems": (
-        "List every composable backend:protocol system in the registry",
-        lambda args: [experiments.run_systems()],
+        "List every composable backend:protocol system, grouped by "
+        "backend (with each backend's provides-set)",
+        lambda args: [experiments.run_backends(), experiments.run_systems()],
+    ),
+    "cost-points": (
+        "One protocol, one access trace, three Tempest cost points",
+        lambda args: [
+            experiments.run_cost_points(nodes=min(args.nodes, 4),
+                                        seed=args.seed)
+        ],
     ),
     "matrix": (
         "Smoke-run every registered system on a tiny shared workload",

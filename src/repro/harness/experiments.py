@@ -445,22 +445,27 @@ def run_migratory_protocol(nodes: int = 8, cache_bytes: int = 2048,
 # ----------------------------------------------------------------------
 def run_software_tempest(nodes: int = 8, cache_bytes: int = 2048,
                          seed: int = 42) -> ExperimentResult:
-    """Run the same Stache library on Typhoon and on an all-software node.
+    """Run the same Stache library on all three Tempest backends.
 
     Section 2: "Tempest can also be implemented in software for existing
     machines" (the CM-5-native direction).  The protocol code is
-    *identical* on both systems — the portability claim — and the cycle
-    gap between them is the value of Typhoon's hardware: the decoupled
-    NP, the RTLB tag check, and the hardware-assisted dispatch.
+    *identical* on every system — the portability claim — and the cycle
+    gaps locate each hardware feature's value: typhoon -> decoupled
+    isolates the NP's hardware-assisted dispatch and RTLB checks
+    (handlers stay offloaded, but on a commodity second CPU paying
+    software polling + dispatch), and decoupled -> blizzard isolates the
+    offload itself (handlers move onto the computation CPU).
     """
     result = ExperimentResult(
         "software-tempest",
-        "The same Stache library on Typhoon vs. an all-software backend",
-        ["application", "typhoon_cycles", "blizzard_cycles", "slowdown"],
+        "The same Stache library on Typhoon vs. the software backends",
+        ["application", "typhoon_cycles", "decoupled_cycles",
+         "blizzard_cycles", "decoupled_slowdown", "blizzard_slowdown"],
     )
     for app_name in ("ocean", "em3d", "mp3d"):
         times = {}
-        for system in ("typhoon-stache", "blizzard-stache"):
+        for system in ("typhoon-stache", "decoupled-stache",
+                       "blizzard-stache"):
             app = workload(app_name, "small").build()
             outcome = run_application(system, app,
                                       _config(nodes, cache_bytes, seed))
@@ -468,12 +473,82 @@ def run_software_tempest(nodes: int = 8, cache_bytes: int = 2048,
         result.add_row(
             application=app_name,
             typhoon_cycles=times["typhoon-stache"],
+            decoupled_cycles=times["decoupled-stache"],
             blizzard_cycles=times["blizzard-stache"],
-            slowdown=times["blizzard-stache"] / times["typhoon-stache"],
+            decoupled_slowdown=times["decoupled-stache"]
+            / times["typhoon-stache"],
+            blizzard_slowdown=times["blizzard-stache"]
+            / times["typhoon-stache"],
         )
     result.notes.append(
-        "identical protocol code on both systems; the slowdown column is "
-        "what the NP hardware buys (handler offload + RTLB checks)"
+        "identical protocol code on all three systems; decoupled_slowdown "
+        "is the cost of software dispatch on a dedicated second CPU, and "
+        "blizzard_slowdown additionally moves the handlers onto the "
+        "computation CPU (what the offload itself buys)"
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Three cost points: one protocol, one trace, three Tempest substrates
+# ----------------------------------------------------------------------
+def run_cost_points(nodes: int = 4, cache_bytes: int = 1024,
+                    seed: int = 11) -> ExperimentResult:
+    """Message economy and time breakdown across the three cost domains.
+
+    Runs a lock-step producer/consumer phase pattern (barriers serialise
+    every phase, so all three backends see the *same access trace* and
+    make the same protocol decisions — message counts are identical)
+    and reports where the cycles went on each substrate.  The
+    ``dispatch_per_handler`` column is each backend's per-dispatch
+    overhead from its cost domain: 0 for Typhoon's hardware capture,
+    poll-notice + software dispatch for the decoupled second CPU, and
+    the full software dispatch sequence on Blizzard's compute CPU —
+    the typhoon < decoupled < blizzard ordering the cycles column shows.
+    """
+    from repro.apps.synthetic import ProducerConsumerApplication
+    from repro.sim.config import MachineConfig
+
+    config = MachineConfig(nodes=nodes, seed=seed)
+    result = ExperimentResult(
+        "cost-points",
+        "One protocol, one access trace, three Tempest cost points",
+        ["system", "cycles", "slowdown", "remote_packets", "network_words",
+         "handler_cycles", "dispatch_per_handler"],
+    )
+    dispatch_overhead = {
+        "typhoon:stache": 0,  # hardware-assisted capture
+        "decoupled:stache": (config.decoupled.poll_notice_cycles
+                             + config.decoupled.dispatch_cycles),
+        "blizzard:stache": config.blizzard.software_dispatch_cycles,
+    }
+    baseline = None
+    for system in ("typhoon:stache", "decoupled:stache", "blizzard:stache"):
+        app = ProducerConsumerApplication(buffer_records=8, phases=3)
+        outcome = run_application(system, app,
+                                  _config(nodes, cache_bytes, seed))
+        stats = outcome["machine"].stats
+        cycles = outcome["execution_time"]
+        if baseline is None:
+            baseline = cycles
+        result.add_row(
+            system=system,
+            cycles=round(cycles),
+            slowdown=cycles / baseline,
+            remote_packets=round(outcome["remote_packets"]),
+            network_words=round(stats.get("network.words")),
+            handler_cycles=round(stats.total(".handler_cycles")),
+            dispatch_per_handler=dispatch_overhead[system],
+        )
+    result.notes.append(
+        "lock-step phases make the message columns backend-invariant; on "
+        "timing-sensitive workloads (mp3d) the backends' different costs "
+        "change the interleaving and with it the message counts"
+    )
+    result.notes.append(
+        "blizzard's handler_cycles reads 0 because its handlers run "
+        "inline on the compute CPU: their time is inside access/barrier "
+        "cycles, which is exactly what the other two backends avoid"
     )
     return result
 
@@ -843,19 +918,53 @@ def run_conformance_matrix(nodes: int = 4, cache_bytes: int = 2048,
 # ----------------------------------------------------------------------
 # The system registry: listing and full-matrix smoke run
 # ----------------------------------------------------------------------
+def run_backends() -> ExperimentResult:
+    """List every registered backend with its provides-set.
+
+    The capability half of the composition story: which Tempest
+    mechanisms each machine substrate implements, and therefore which
+    protocols it can legally run (``repro systems`` shows the resulting
+    matrix, grouped under these backends).
+    """
+    from repro.backends import BACKENDS
+
+    result = ExperimentResult(
+        "backends",
+        "Registered backends and the capabilities each provides",
+        ["backend", "provides", "systems", "description"],
+    )
+    from repro.backends import all_systems
+
+    systems = all_systems()
+    for backend in BACKENDS.values():
+        mine = [s for s in systems
+                if s == backend.name or s.startswith(f"{backend.name}:")]
+        result.add_row(
+            backend=backend.name,
+            provides=", ".join(sorted(backend.provides))
+                     or "(hardwired protocol)",
+            systems=len(mine),
+            description=backend.description,
+        )
+    return result
+
+
 def run_systems() -> ExperimentResult:
-    """List every composable ``backend:protocol`` system.
+    """List every composable ``backend:protocol`` system, by backend.
 
     Pure registry introspection (no simulation): one row per valid
-    composition from :func:`repro.backends.describe_systems`, with the
-    backend capabilities each protocol requires, whether the system has
-    an online conformance spec, and its legacy aliases.
+    composition from :func:`repro.backends.describe_systems` — grouped
+    by backend, in registry order — with the backend capabilities each
+    protocol requires, whether the system has an online conformance
+    spec, and its legacy aliases.  Pair with :func:`run_backends` (the
+    ``systems`` CLI command prints both) for each group's provides-set.
     """
     from repro.backends import describe_systems
 
     result = ExperimentResult(
         "systems",
-        "Composable systems: every protocol on every capable backend",
+        "Composable systems: every protocol on every capable backend, "
+        "grouped by backend",
         ["system", "backend", "protocol", "conformance", "aliases", "notes"],
     )
     for row in describe_systems():

@@ -17,8 +17,8 @@ harness half of that pipeline.  It owns
   :func:`~repro.protocols.history.check_register_consistency`.
 
 A corpus is *portable by construction*: the schedules name handlers and
-endpoints, not backend internals, so the stache corpus replays on both
-Tempest backends, on the migratory variant (whose different message
+endpoints, not backend internals, so the stache corpus replays on
+every Tempest backend, on the migratory variant (whose different message
 sequences simply never match the pinned rules), and on em3d-update
 (whose ordinary shared data rides the plain Stache paths).  Rules that
 never fire are harmless; the monitor and the consistency checker are
@@ -63,11 +63,12 @@ CORPUS_PROTOCOLS = ("stache", "dirnnb", "ivy", "em3d-update")
 #: Corpus file -> every ``backend:protocol`` system it replays on.
 #: The union is exactly ``repro.backends.all_systems()``.
 REPLAY_SYSTEMS = {
-    "stache": ("typhoon:stache", "blizzard:stache",
-               "typhoon:migratory", "blizzard:migratory"),
+    "stache": ("typhoon:stache", "decoupled:stache", "blizzard:stache",
+               "typhoon:migratory", "decoupled:migratory",
+               "blizzard:migratory"),
     "dirnnb": ("dirnnb",),
-    "ivy": ("typhoon:ivy", "blizzard:ivy"),
-    "em3d-update": ("typhoon:em3d-update",),
+    "ivy": ("typhoon:ivy", "decoupled:ivy", "blizzard:ivy"),
+    "em3d-update": ("typhoon:em3d-update", "decoupled:em3d-update"),
 }
 
 #: Kernels every replay runs under.  Systems whose machines cannot

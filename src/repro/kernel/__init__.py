@@ -18,17 +18,25 @@ Two kernels exist:
   (:mod:`repro.harness.differential`) — and deopt is ``__dict__.pop``.
 
 Selection is opt-in and name-based (``install_kernel(machine,
-"compiled")``); machines whose protocol is not compilable (the registry
-entry says so — ``em3d-update``, or hardware-protocol DirNNB) fall back
-to interpreted with the reason recorded on
+"compiled")``); machines the kernel cannot specialise fall back to
+interpreted with the reason recorded on
 ``machine.kernel_fallback_reason``, so a sweep over the full system
-matrix can request ``compiled`` unconditionally.
+matrix can request ``compiled`` unconditionally.  Fallback reasons are
+*declared*: a protocol not marked compilable (``em3d-update``),
+hardware-protocol DirNNB, or a backend outside
+:data:`COMPILED_BACKENDS` (the ``decoupled`` backend's handler
+processor is not yet specialised).
 """
 
 from __future__ import annotations
 
 #: Valid kernel names, in preference order.
 KERNELS = ("interpreted", "compiled")
+
+#: Backends whose dispatch loop the compiled kernel can specialise.
+#: The decoupled backend's handler processor stays interpreted for now;
+#: DirNNB has no software dispatch loop at all.
+COMPILED_BACKENDS = ("typhoon", "blizzard")
 
 
 def install_kernel(machine, kernel: str | None = "interpreted"):

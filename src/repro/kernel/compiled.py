@@ -113,6 +113,12 @@ class CompiledKernel:
             cpi = machine.config.typhoon.cycles_per_instruction
         elif backend == "blizzard":
             cpi = machine.config.blizzard.cycles_per_instruction
+        elif backend == "decoupled":
+            return None, (
+                "backend 'decoupled' runs handlers on a dedicated "
+                "handler processor the compiled kernel does not yet "
+                "specialise; running interpreted"
+            )
         else:
             return None, (
                 f"backend {backend!r} runs its protocol in hardware; "

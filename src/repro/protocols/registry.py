@@ -23,12 +23,14 @@ Capability vocabulary (what a backend can promise):
 ``bulk-transfer``
     Node-to-node bulk data transfer with completion notification.
 ``decoupled-handlers``
-    Handlers run on a dedicated processor (Typhoon's NP) while the
-    computation thread is blocked, so a protocol may wait on a bare
-    future without polling.  An all-software backend does not have this:
-    its stalled CPU must spin-poll to run handlers, and a protocol whose
-    wait path never polls (EM3D-update's flush/fuzzy barrier) would
-    deadlock — which is exactly what composition-time validation rejects.
+    Handlers run on a dedicated processor (Typhoon's NP, or the
+    decoupled backend's second-CPU dispatch loop) while the computation
+    thread is blocked, so a protocol may wait on a bare future without
+    polling.  A single-CPU all-software backend (Blizzard) does not
+    have this: its stalled CPU must spin-poll to run handlers, and a
+    protocol whose wait path never polls (EM3D-update's flush/fuzzy
+    barrier) would deadlock — which is exactly what composition-time
+    validation rejects.
 """
 
 from __future__ import annotations

@@ -180,14 +180,21 @@ class BlizzardCosts:
     instructions of inserted code, and the network is polled at every
     shared-memory reference.
 
-    The handler path-length fields mirror :class:`TyphoonCosts` name for
-    name and default to the same values: the protocol library is the
-    same user-level code on both backends, so its best-case instruction
-    counts carry over.  What differs is who executes them and at what
-    overhead (``software_dispatch_cycles`` and this section's CPI versus
-    the NP's), and the fields exist here so a Blizzard machine resolves
-    its costs from its *own* section — retuning ``config.blizzard``
-    affects Blizzard runs and leaves Typhoon runs alone (see
+    The handler path-length fields share their *names* with
+    :class:`TyphoonCosts` but **not** their values.  Typhoon's quoted
+    counts (14/30/20...) assume the NP's hardware assists: tags live in
+    the RTLB and flip in one touch, message bodies sit in mapped
+    registers, and the block-access fault arrives pre-decoded.  A
+    software Tempest gets none of that — every handler manipulates an
+    in-memory tag table (load, mask, store per block), marshals message
+    bodies through memory, and decodes faults itself — so each path
+    carries a per-field-documented software surcharge over the Typhoon
+    count.  (Until ISSUE 10 these fields *did* mirror Typhoon verbatim,
+    which made Blizzard a relabeled twin; the de-mirrored estimates
+    below are what moved the ``blizzard`` goldens.)  The fields exist
+    here so a Blizzard machine resolves its costs from its *own*
+    section — retuning ``config.blizzard`` affects Blizzard runs and
+    leaves Typhoon runs alone (see
     :class:`repro.tempest.port.CostDomain`).
     """
 
@@ -203,19 +210,98 @@ class BlizzardCosts:
     #: instruction is charged to the computation thread at this CPI.
     cycles_per_instruction: int = 1
 
-    # Protocol handler path lengths (same library as on Typhoon; see the
-    # matching TyphoonCosts fields for the provenance of each count).
-    miss_request_instructions: int = 14
-    home_response_instructions: int = 30
-    data_arrival_instructions: int = 20
-    invalidate_handler_instructions: int = 15
-    ack_handler_instructions: int = 25
-    writeback_handler_instructions: int = 25
-    page_fault_instructions: int = 250
-    page_replace_instructions: int = 150
-    per_message_instructions: int = 5
+    # Protocol handler path lengths: Typhoon's count plus the software
+    # surcharge for doing in software what the NP does in hardware.
+    #: 14 + ~8 (software tag-table update + marshalling the request
+    #: body through memory instead of mapped registers).
+    miss_request_instructions: int = 22
+    #: 30 + ~16 (directory lookup and sharer-list walk against in-memory
+    #: structures, block copy staged through a bounce buffer).
+    home_response_instructions: int = 46
+    #: 20 + ~12 (tag flip is a table read-modify-write per block, and
+    #: the arrived body is copied out of the receive buffer).
+    data_arrival_instructions: int = 32
+    #: 15 + ~9 (tag downgrade in the table + software ack compose).
+    invalidate_handler_instructions: int = 24
+    #: 25 + ~13 (pointer clear and possible forward against in-memory
+    #: directory state).
+    ack_handler_instructions: int = 38
+    #: 25 + ~15 (pack the dirty block through memory + table downgrade).
+    writeback_handler_instructions: int = 40
+    #: 250 + ~70 (allocate + map as on Typhoon, then *initialize the
+    #: access-control table entries* for every block of the page —
+    #: Typhoon's RTLB fill does this in hardware).
+    page_fault_instructions: int = 320
+    #: 150 + ~50 (fixed remap cost plus tearing down the page's table
+    #: entries in software).
+    page_replace_instructions: int = 200
+    #: 5 + ~3 (each extra message composed through memory).
+    per_message_instructions: int = 8
     #: Copying a block to/from local DRAM costs the same bus round trip
     #: whether the CPU or an NP issues it.
+    block_copy_cycles: int = 10
+
+
+@dataclass
+class DecoupledCosts:
+    """Cost model for the decoupled software-handler backend.
+
+    The middle point of the paper's design space (the direction later
+    realized as Typhoon-0/Typhoon-1): a commodity dual-processor node
+    where fine-grain access control is synthesized in software exactly
+    as on Blizzard (inserted checks before shared stores, the
+    ECC/sentinel trick for loads), but protocol handlers run on a
+    *second* CPU executing a software dispatch loop that polls an inbox
+    — concurrent with computation, like Typhoon's NP, yet with no
+    hardware dispatch assist.
+
+    Consequences, relative to the neighbours:
+
+    * versus Blizzard — no inserted network poll on the compute CPU
+      (the handler processor watches the network), and handler
+      instructions overlap computation instead of stealing it;
+    * versus Typhoon — every dispatch pays the polling loop's notice
+      latency plus a software dispatch sequence instead of the NP's
+      hardware-assisted ``baf_dispatch_cycles``, and the handler path
+      lengths carry the same software surcharges as
+      :class:`BlizzardCosts` (same software protocol library, same
+      in-memory tag tables and message marshalling).
+
+    That yields the three distinct cost points ISSUE 10 asks for:
+    typhoon < decoupled < blizzard on handler-dispatch overhead.
+    """
+
+    #: Inserted-code cost per checked load (0 = the ECC/sentinel trick).
+    check_read_cycles: int = 0
+    #: Inserted-code cost per checked store (explicit table lookup).
+    check_write_cycles: int = 3
+    #: Latency for the handler processor's polling loop to notice newly
+    #: queued work (re-reading the inbox head between work items).
+    poll_notice_cycles: int = 2
+    #: Software dispatch sequence per work item: read the descriptor,
+    #: index the handler table, indirect call.  No hardware assist, but
+    #: the loop is hot and resident on its own CPU, so it undercuts
+    #: Blizzard's ``software_dispatch_cycles`` (which also pays to
+    #: interrupt computation).
+    dispatch_cycles: int = 8
+    #: The handler processor executes one cycle per instruction, on its
+    #: own timeline — handler work overlaps computation.
+    cycles_per_instruction: int = 1
+
+    # Protocol handler path lengths: identical to the de-mirrored
+    # BlizzardCosts estimates — the handler processor runs the same
+    # software protocol library against the same in-memory tag tables;
+    # only *who* runs it (and at what dispatch overhead) differs.
+    miss_request_instructions: int = 22
+    home_response_instructions: int = 46
+    data_arrival_instructions: int = 32
+    invalidate_handler_instructions: int = 24
+    ack_handler_instructions: int = 38
+    writeback_handler_instructions: int = 40
+    page_fault_instructions: int = 320
+    page_replace_instructions: int = 200
+    per_message_instructions: int = 8
+    #: Same bus round trip for a block copy as on the other backends.
     block_copy_cycles: int = 10
 
 
@@ -229,6 +315,7 @@ class MachineConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     dirnnb: DirNNBCosts = field(default_factory=DirNNBCosts)
     typhoon: TyphoonCosts = field(default_factory=TyphoonCosts)
+    decoupled: DecoupledCosts = field(default_factory=DecoupledCosts)
     blizzard: BlizzardCosts = field(default_factory=BlizzardCosts)
 
     block_size: int = 32

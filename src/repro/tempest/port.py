@@ -7,15 +7,17 @@ facade to work.  Protocol libraries, however, are installed onto a whole
 *machine* — they walk ``machine.nodes``, consult ``machine.layout`` and
 ``machine.heap``, and charge handler costs.  :class:`TempestPort` names
 that machine-level surface, so a protocol written against it runs on any
-backend that implements it (Typhoon's hardware NP, Blizzard's all-
-software polling node, or anything the registry grows later) — the
-paper's portability argument, made checkable with ``isinstance``.
+backend that implements it (Typhoon's hardware NP, the decoupled
+backend's second-CPU dispatch loop, Blizzard's all-software polling
+node, or anything the registry grows later) — the paper's portability
+argument, made checkable with ``isinstance``.
 
 :class:`CostDomain` is the cost-model half of that portability.  Handler
 path lengths are properties of the *protocol code* ("30 instructions for
 the remote node to respond with the data"), but what a backend charges
-for them is a property of the *backend*: Typhoon bills the NP, Blizzard
-bills the computation thread at its own dispatch cost and CPI.  Each
+for them is a property of the *backend*: Typhoon bills the NP, the
+decoupled backend bills its handler processor, Blizzard bills the
+computation thread at its own dispatch cost and CPI.  Each
 machine resolves the named costs from its own config section and exposes
 them as ``machine.costs``; protocol code reads only the names.  Before
 this indirection existed, every protocol read ``machine.config.typhoon``
@@ -98,6 +100,23 @@ class CostDomain:
         )
 
     @classmethod
+    def from_decoupled(cls, costs) -> "CostDomain":
+        """Resolve from a :class:`~repro.sim.config.DecoupledCosts`."""
+        return cls(
+            domain="decoupled",
+            miss_request=costs.miss_request_instructions,
+            home_response=costs.home_response_instructions,
+            data_arrival=costs.data_arrival_instructions,
+            invalidate=costs.invalidate_handler_instructions,
+            ack=costs.ack_handler_instructions,
+            writeback=costs.writeback_handler_instructions,
+            page_fault=costs.page_fault_instructions,
+            page_replace=costs.page_replace_instructions,
+            per_message=costs.per_message_instructions,
+            block_copy=costs.block_copy_cycles,
+        )
+
+    @classmethod
     def from_blizzard(cls, costs) -> "CostDomain":
         """Resolve from a :class:`~repro.sim.config.BlizzardCosts`."""
         return cls(
@@ -119,21 +138,22 @@ class CostDomain:
 class TempestPort(Protocol):
     """What a whole machine exposes to an installed protocol library.
 
-    Structural and ``runtime_checkable``: both
-    :class:`~repro.typhoon.system.TyphoonMachine` and
-    :class:`~repro.blizzard.system.BlizzardMachine` satisfy it without
-    inheriting from anything here, and protocol modules annotate against
-    it instead of naming a backend type (no module under
-    ``repro.protocols`` may import ``repro.typhoon`` or
-    ``repro.blizzard`` — a test enforces this).
+    Structural and ``runtime_checkable``:
+    :class:`~repro.typhoon.system.TyphoonMachine`,
+    :class:`~repro.decoupled.system.DecoupledMachine`, and
+    :class:`~repro.blizzard.system.BlizzardMachine` all satisfy it
+    without inheriting from anything here, and protocol modules annotate
+    against it instead of naming a backend type (no module under
+    ``repro.protocols`` may import ``repro.typhoon``,
+    ``repro.decoupled``, or ``repro.blizzard`` — a test enforces this).
 
     Each node in ``nodes`` additionally satisfies
     :class:`~repro.tempest.interface.TempestBackend` and exposes the
     protocol wiring points: ``node.tempest`` (the per-node facade),
     ``node.np.set_fault_handler(mode, is_write, handler_name)`` (the
     block-access-fault dispatch table — a real NP on Typhoon, a
-    software dispatcher on Blizzard), and
-    ``node.set_page_fault_handler(fn)``.
+    dedicated handler processor on the decoupled backend, a software
+    dispatcher on Blizzard), and ``node.set_page_fault_handler(fn)``.
     """
 
     config: Any

@@ -6,7 +6,8 @@ Two statements proved here:
    the fault-resilience suite runs, re-run with ``enable_conformance()``:
    every directory/tag transition and every grant/ack/writeback pairing
    is checked online, and none may violate the declarative tables on
-   either the Typhoon or the Blizzard backend (nor on DirNNB).
+   any Tempest backend — Typhoon, decoupled, or Blizzard (nor on
+   DirNNB).
 2. **The monitor catches non-conformance.**  Mutation tests corrupt a
    directory entry / tag store directly and assert the monitor fires
    immediately, with a non-empty flight-recorder history in the report.
@@ -28,12 +29,14 @@ from repro.protocols.conformance import (
 )
 from repro.protocols.directory import DirectoryState
 from repro.protocols.verify import CoherenceViolation
+from repro.blizzard.system import BlizzardMachine
+from repro.decoupled.system import DecoupledMachine
 from tests.integration.test_fault_resilience import (
     LOSSY,
     NODES,
     OPS,
     PAGES,
-    make_blizzard_stache_machine,
+    make_software_stache_machine,
     run_under_faults,
 )
 from tests.protocols.conftest import (
@@ -59,7 +62,18 @@ def test_property_typhoon_conforms_under_lossy_network(ops, seed):
 @given(ops=OPS, seed=st.integers(0, 3))
 @settings(max_examples=15, deadline=None)
 def test_property_blizzard_conforms_under_lossy_network(ops, seed):
-    machine, _protocol, region = make_blizzard_stache_machine(seed=seed)
+    machine, _protocol, region = make_software_stache_machine(
+        BlizzardMachine, seed=seed)
+    monitor = machine.enable_conformance()
+    run_under_faults(machine, region, ops)
+    assert monitor.violations == []
+
+
+@given(ops=OPS, seed=st.integers(0, 3))
+@settings(max_examples=15, deadline=None)
+def test_property_decoupled_conforms_under_lossy_network(ops, seed):
+    machine, _protocol, region = make_software_stache_machine(
+        DecoupledMachine, seed=seed)
     monitor = machine.enable_conformance()
     run_under_faults(machine, region, ops)
     assert monitor.violations == []
@@ -113,7 +127,8 @@ def test_late_grant_race_is_poisoned_and_refetched():
         (1, False, 2, 0, 0),
         (2, False, 0, 0, 0),
     ]
-    machine, _protocol, region = make_blizzard_stache_machine(seed=0)
+    machine, _protocol, region = make_software_stache_machine(
+        BlizzardMachine, seed=0)
     monitor = machine.enable_conformance()
     run_under_faults(machine, region, ops)  # linearizability oracle inside
     assert monitor.violations == []

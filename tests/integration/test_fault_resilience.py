@@ -11,10 +11,12 @@ the Typhoon and Blizzard backends must show
 * the retry/NACK counter family visible in ``Stats``.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.blizzard.system import BlizzardMachine
+from repro.decoupled.system import DecoupledMachine
 from repro.network.faults import FaultPlan, FaultSpec
 from repro.protocols.history import AccessHistory, check_register_consistency
 from repro.protocols.stache import StacheProtocol
@@ -42,9 +44,9 @@ OPS = st.lists(
 )
 
 
-def make_blizzard_stache_machine(nodes=NODES, seed=1,
+def make_software_stache_machine(machine_cls, nodes=NODES, seed=1,
                                  shared_bytes=PAGES * 4096, **config_kwargs):
-    machine = BlizzardMachine(
+    machine = machine_cls(
         MachineConfig(nodes=nodes, seed=seed, **config_kwargs))
     protocol = StacheProtocol()
     machine.install_protocol(protocol)
@@ -95,7 +97,16 @@ def test_property_typhoon_stache_survives_lossy_network(ops, seed):
 @given(ops=OPS, seed=st.integers(0, 3))
 @settings(max_examples=20, deadline=None)
 def test_property_blizzard_stache_survives_lossy_network(ops, seed):
-    machine, _protocol, region = make_blizzard_stache_machine(seed=seed)
+    machine, _protocol, region = make_software_stache_machine(
+        BlizzardMachine, seed=seed)
+    run_under_faults(machine, region, ops)
+
+
+@given(ops=OPS, seed=st.integers(0, 3))
+@settings(max_examples=20, deadline=None)
+def test_property_decoupled_stache_survives_lossy_network(ops, seed):
+    machine, _protocol, region = make_software_stache_machine(
+        DecoupledMachine, seed=seed)
     run_under_faults(machine, region, ops)
 
 
@@ -151,8 +162,12 @@ def test_bounded_receive_queue_forces_nacks_and_stays_consistent():
     assert not machine.transport.pending
 
 
-def test_blizzard_bounded_inbox_forces_nacks_and_stays_consistent():
-    machine, _protocol, region = make_blizzard_stache_machine(seed=3)
+@pytest.mark.parametrize("machine_cls", [BlizzardMachine, DecoupledMachine],
+                         ids=["blizzard", "decoupled"])
+def test_software_backend_bounded_inbox_forces_nacks_and_stays_consistent(
+        machine_cls):
+    machine, _protocol, region = make_software_stache_machine(
+        machine_cls, seed=3)
     machine.history = AccessHistory()
     machine.install_fault_plan(
         FaultSpec(name="bounded", recv_queue_limit=1, retry_timeout=150))

@@ -94,7 +94,7 @@ def test_corpus_replays_clean(protocol, system, kernel):
 # ----------------------------------------------------------------------
 # The overtaking family, pinned and counted
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("system", ["typhoon:stache", "blizzard:stache"])
+@pytest.mark.parametrize("system", ["typhoon:stache", "decoupled:stache", "blizzard:stache"])
 def test_late_grant_overtaking_family_replays_deterministically(system):
     """A *synthesized* case (not a hand-written one) drives the real
     machine through grant poisoning and the poisoned-grant refetch on

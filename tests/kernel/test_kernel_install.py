@@ -66,6 +66,18 @@ def test_em3d_update_falls_back_with_reason():
     assert "not marked compilable" in machine.kernel_fallback_reason
 
 
+def test_decoupled_falls_back_with_reason():
+    """Every decoupled system refuses the compiled kernel with its own
+    declared reason — even for protocols the kernel compiles on the
+    other backends — and runs correctly interpreted."""
+    outcome = run("decoupled:stache", kernel="compiled")
+    assert outcome["kernel"] == "interpreted"
+    assert outcome["refs"] > 0
+    machine = outcome["machine"]
+    assert machine.kernel is None
+    assert "handler processor" in machine.kernel_fallback_reason
+
+
 def test_dirnnb_falls_back_with_reason():
     machine, _ = build("dirnnb")
     assert install_kernel(machine, "compiled") is None

@@ -48,7 +48,7 @@ def test_protocol_registry_contents_and_order():
 
 
 def test_backend_registry_contents():
-    assert tuple(BACKENDS) == ("dirnnb", "typhoon", "blizzard")
+    assert tuple(BACKENDS) == ("dirnnb", "typhoon", "decoupled", "blizzard")
     for entry in BACKENDS.values():
         assert entry.provides <= CAPABILITIES
     assert BACKENDS["dirnnb"].builtin_protocol == "dirnnb"
@@ -57,6 +57,9 @@ def test_backend_registry_contents():
     # processor — the whole point of the hardware NP.
     assert (BACKENDS["typhoon"].provides - BACKENDS["blizzard"].provides
             == {"decoupled-handlers"})
+    # The decoupled backend's second CPU provides exactly that: same
+    # capability set as Typhoon, implemented in software.
+    assert BACKENDS["decoupled"].provides == BACKENDS["typhoon"].provides
 
 
 def test_all_systems_is_the_valid_matrix():
@@ -64,6 +67,8 @@ def test_all_systems_is_the_valid_matrix():
         "dirnnb",
         "typhoon:stache", "typhoon:migratory", "typhoon:ivy",
         "typhoon:em3d-update",
+        "decoupled:stache", "decoupled:migratory", "decoupled:ivy",
+        "decoupled:em3d-update",
         "blizzard:stache", "blizzard:migratory", "blizzard:ivy",
     )
 
@@ -108,6 +113,32 @@ def test_capability_mismatch_is_rejected_with_the_missing_capability():
         parse_system("blizzard:em3d-update")
 
 
+def test_capability_mismatch_names_every_missing_capability(monkeypatch):
+    """A combo missing several capabilities gets *all* of them named.
+
+    No shipped backend misses more than one capability, so fake one
+    with an empty provides-set and ask for the hungriest protocol."""
+    import repro.backends as backends_mod
+
+    bare = backends_mod.BackendEntry(
+        name="bare",
+        description="provides nothing (test backend)",
+        provides=frozenset(),
+        factory=lambda config: None,
+    )
+    monkeypatch.setitem(backends_mod.BACKENDS, "bare", bare)
+    with pytest.raises(CompositionError) as excinfo:
+        parse_system("bare:em3d-update")
+    message = str(excinfo.value)
+    for capability in ("active-messages", "decoupled-handlers",
+                       "fine-grain-tags"):
+        assert capability in message
+    # ... and in sorted order, so the message is deterministic.
+    positions = [message.index(c) for c in sorted(
+        ("active-messages", "decoupled-handlers", "fine-grain-tags"))]
+    assert positions == sorted(positions)
+
+
 def test_builtin_protocol_backend_takes_no_protocol():
     with pytest.raises(CompositionError, match="hardware"):
         parse_system("dirnnb:stache")
@@ -147,15 +178,27 @@ def test_spec_name_for_dirnnb_comes_from_the_backend_registry():
 def test_cost_domains_resolve_from_each_backend_config():
     config = _config()
     typhoon, _ = compose("typhoon:stache", config)
+    decoupled, _ = compose("decoupled:stache", config)
     blizzard, _ = compose("blizzard:stache", config)
     assert typhoon.costs.domain == "typhoon"
+    assert decoupled.costs.domain == "decoupled"
     assert blizzard.costs.domain == "blizzard"
-    for name in CostDomain.names():
-        assert typhoon.costs.get(name) == blizzard.costs.get(name), name
     assert (typhoon.costs.miss_request
             == config.typhoon.miss_request_instructions)
+    assert (decoupled.costs.miss_request
+            == config.decoupled.miss_request_instructions)
     assert (blizzard.costs.miss_request
             == config.blizzard.miss_request_instructions)
+    # The software backends run the same protocol library on commodity
+    # CPUs: their path lengths agree with each other, and every one of
+    # them carries a software surcharge over the Typhoon count (the
+    # BlizzardCosts de-mirror; block_copy is a bus property and stays).
+    for name in CostDomain.names():
+        assert decoupled.costs.get(name) == blizzard.costs.get(name), name
+        if name == "block_copy":
+            assert typhoon.costs.get(name) == blizzard.costs.get(name)
+        else:
+            assert typhoon.costs.get(name) < blizzard.costs.get(name), name
 
 
 def test_cost_domain_rejects_unknown_names():
@@ -166,8 +209,8 @@ def test_cost_domain_rejects_unknown_names():
         costs["domain"]
 
 
-def test_both_backends_satisfy_tempest_port():
-    for system in ("typhoon:stache", "blizzard:stache"):
+def test_every_tempest_backend_satisfies_tempest_port():
+    for system in ("typhoon:stache", "decoupled:stache", "blizzard:stache"):
         machine, _ = compose(system, _config())
         assert isinstance(machine, TempestPort)
         assert machine.num_nodes == 2
@@ -177,7 +220,7 @@ def test_both_backends_satisfy_tempest_port():
 # ----------------------------------------------------------------------
 # The import ban: protocols never touch backend modules
 # ----------------------------------------------------------------------
-BANNED_PREFIXES = ("repro.typhoon", "repro.blizzard")
+BANNED_PREFIXES = ("repro.typhoon", "repro.decoupled", "repro.blizzard")
 
 
 def _imported_modules(path: pathlib.Path):
@@ -193,7 +236,7 @@ def _imported_modules(path: pathlib.Path):
 def test_no_protocol_module_imports_a_backend():
     """Backend neutrality, enforced: the whole ``repro.protocols``
     package — including lazy function-level imports — never names
-    ``repro.typhoon`` or ``repro.blizzard``."""
+    ``repro.typhoon``, ``repro.decoupled``, or ``repro.blizzard``."""
     package_dir = pathlib.Path(protocols_pkg.__file__).parent
     sources = sorted(package_dir.glob("*.py"))
     assert len(sources) >= 8  # the package did not move out from under us
